@@ -1,0 +1,128 @@
+// Command ersolve runs the entity-resolution framework over a dataset JSON
+// file (as produced by ergen) and prints the resolved entities, optionally
+// with quality scores against the embedded ground truth.
+//
+// Usage:
+//
+//	ersolve -in dataset.json [-strategy best|threshold|weighted|majority]
+//	        [-clustering closure|correlation] [-train 0.10] [-regions 10]
+//	        [-seed N] [-score] [-members]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input dataset JSON (required)")
+		strategy   = flag.String("strategy", "best", "best | threshold | weighted | majority")
+		clustering = flag.String("clustering", "closure", "closure | correlation")
+		train      = flag.Float64("train", 0.10, "training fraction")
+		regionK    = flag.Int("regions", 10, "accuracy-estimation regions")
+		seed       = flag.Int64("seed", 1, "random seed")
+		score      = flag.Bool("score", false, "score against embedded ground truth")
+		members    = flag.Bool("members", false, "list cluster members")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ersolve: -in is required")
+		os.Exit(1)
+	}
+
+	if err := run(*in, *strategy, *clustering, *train, *regionK, *seed, *score, *members); err != nil {
+		fmt.Fprintln(os.Stderr, "ersolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, strategy, clustering string, train float64, regionK int,
+	seed int64, score, members bool) error {
+
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dataset, err := corpus.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+
+	opts := core.DefaultOptions()
+	opts.TrainFraction = train
+	opts.RegionK = regionK
+	opts.Seed = seed
+	switch clustering {
+	case "closure":
+		opts.Clustering = core.TransitiveClosure
+	case "correlation":
+		opts.Clustering = core.CorrelationClustering
+	default:
+		return fmt.Errorf("unknown clustering %q", clustering)
+	}
+	resolver, err := core.New(opts)
+	if err != nil {
+		return err
+	}
+
+	var scores []eval.Result
+	for i, col := range dataset.Collections {
+		prep, err := resolver.Prepare(col)
+		if err != nil {
+			return err
+		}
+		analysis, err := prep.Run(stats.SplitSeedN(seed, i))
+		if err != nil {
+			return err
+		}
+		var res *core.Resolution
+		switch strategy {
+		case "best":
+			res, err = analysis.BestAnyCriterion()
+		case "threshold":
+			res, err = analysis.BestThresholdOnly()
+		case "weighted":
+			res, err = analysis.WeightedAverage()
+		case "majority":
+			res, err = analysis.MajorityVote()
+		default:
+			return fmt.Errorf("unknown strategy %q", strategy)
+		}
+		if err != nil {
+			return err
+		}
+
+		fmt.Printf("%s: %d pages -> %d entities (%s)\n",
+			col.Name, len(col.Docs), res.NumEntities(), res.Source)
+		if members {
+			clusters := make(map[int][]int)
+			for doc, label := range res.Labels {
+				clusters[label] = append(clusters[label], doc)
+			}
+			for label := 0; label < res.NumEntities(); label++ {
+				fmt.Printf("  entity %d: %v\n", label, clusters[label])
+			}
+		}
+		if score {
+			s, err := eval.Evaluate(res.Labels, col.GroundTruth())
+			if err != nil {
+				return err
+			}
+			scores = append(scores, s)
+			fmt.Printf("  Fp=%.4f F=%.4f Rand=%.4f\n", s.Fp, s.F, s.Rand)
+		}
+	}
+	if score && len(scores) > 1 {
+		avg := eval.Aggregate(scores)
+		fmt.Printf("\naverage: Fp=%.4f F=%.4f Rand=%.4f\n", avg.Fp, avg.F, avg.Rand)
+	}
+	return nil
+}

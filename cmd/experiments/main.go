@@ -1,0 +1,181 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section over the synthetic datasets.
+//
+// Usage:
+//
+//	experiments [-seed N] [-runs N] [-quick] [-exp all|fig1|fig2|fig3|table2|table3]
+//
+// Output is printed as text tables; Table II additionally prints the
+// paper's reported numbers and the shape checks documented in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 2010, "root random seed")
+		runs  = flag.Int("runs", 5, "independent training draws to average")
+		quick = flag.Bool("quick", false, "reduced setup (2 runs) for smoke tests")
+		exp   = flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, table2, table3")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Runs = *runs
+	if *quick {
+		cfg = experiments.QuickConfig()
+		cfg.Seed = *seed
+	}
+
+	if err := run(cfg, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, exp string) error {
+	runOne := func(name string, f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	all := exp == "all"
+	if all || exp == "fig1" {
+		if err := runOne("fig1", func() error {
+			f, err := experiments.Figure1(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(f.Render())
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig2" {
+		if err := runOne("fig2", func() error {
+			f, err := experiments.Figure2(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(f.Render())
+			fmt.Printf("combined wins per metric: %v\n", f.CombinedWins())
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig3" {
+		if err := runOne("fig3", func() error {
+			f, err := experiments.Figure3(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(f.Render())
+			fmt.Printf("combined wins per metric: %v\n", f.CombinedWins())
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "table2" {
+		if err := runOne("table2", func() error {
+			t, err := experiments.TableII(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.String())
+			fmt.Println("\npaper-reported values:")
+			for _, row := range t.RowLabels() {
+				fmt.Printf("  %-18s", row)
+				for _, col := range t.Columns() {
+					fmt.Printf("  %s=%.4f", col, experiments.PaperTableII[row][col])
+				}
+				if rw, ok := experiments.RelatedWork[row]; ok {
+					fmt.Printf("  related: %s", rw)
+				}
+				fmt.Println()
+			}
+			fmt.Println("\nshape checks:")
+			for _, line := range experiments.TableIIShapeChecks(t) {
+				fmt.Println("  " + line)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "table3" {
+		if err := runOne("table3", func() error {
+			t, err := experiments.TableIII(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.String())
+			fmt.Println("\nshape checks:")
+			for _, line := range experiments.TableIIIShapeChecks(t) {
+				fmt.Println("  " + line)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if exp == "ablations" {
+		if err := runOne("ablations", func() error { return runAblations(cfg) }); err != nil {
+			return err
+		}
+	}
+	if !all && exp != "fig1" && exp != "fig2" && exp != "fig3" &&
+		exp != "table2" && exp != "table3" && exp != "ablations" {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// runAblations prints every design-choice ablation of DESIGN.md §5.
+func runAblations(cfg experiments.Config) error {
+	type ablation struct {
+		title string
+		run   func() ([]experiments.AblationResult, error)
+	}
+	for _, a := range []ablation{
+		{"criteria pools (region schemes)", func() ([]experiments.AblationResult, error) {
+			return experiments.AblationRegionScheme(cfg)
+		}},
+		{"region count k", func() ([]experiments.AblationResult, error) {
+			return experiments.AblationRegionK(cfg, []int{5, 10, 15})
+		}},
+		{"final clustering step", func() ([]experiments.AblationResult, error) {
+			return experiments.AblationClustering(cfg)
+		}},
+		{"training fraction", func() ([]experiments.AblationResult, error) {
+			return experiments.AblationTrainFraction(cfg, []float64{0.05, 0.10, 0.20})
+		}},
+		{"combination method", func() ([]experiments.AblationResult, error) {
+			return experiments.AblationCombination(cfg)
+		}},
+		{"framework vs R-Swoosh baseline", func() ([]experiments.AblationResult, error) {
+			return experiments.BaselineComparison(cfg)
+		}},
+	} {
+		res, err := a.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.title, err)
+		}
+		fmt.Print(experiments.RenderAblation(a.title, res))
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Blocking: compare candidate-pair generation schemes.
+//
+// The paper blocks pages by exact person name and notes that "in general,
+// one needs to consider the applicable blocking schemes more carefully."
+// This example builds a mixed record set where names appear in several
+// written variants ("John Smith", "Smith, John", "J. Smith") and measures
+// each scheme's pair completeness (recall of true pairs) against its
+// reduction ratio (how much of the quadratic comparison space it prunes).
+//
+// Run with:
+//
+//	go run ./examples/blocking
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/blocking"
+)
+
+func main() {
+	// Twelve records about four real persons, with name-variant noise.
+	// labels[i] is the ground-truth person of record i.
+	records := []blocking.Record{
+		{ID: 0, Keys: []string{"John Smith"}},
+		{ID: 1, Keys: []string{"Smith, John"}},
+		{ID: 2, Keys: []string{"J. Smith"}},
+		{ID: 3, Keys: []string{"Mary Cohen"}},
+		{ID: 4, Keys: []string{"Mary R. Cohen"}},
+		{ID: 5, Keys: []string{"M. Cohen"}},
+		{ID: 6, Keys: []string{"Andrew McCallum"}},
+		{ID: 7, Keys: []string{"A. McCallum"}},
+		{ID: 8, Keys: []string{"Andrew MacCallum"}}, // misspelled variant
+		{ID: 9, Keys: []string{"Fernando Pereira"}},
+		{ID: 10, Keys: []string{"F. Pereira", "Fernando C. Pereira"}},
+		{ID: 11, Keys: []string{"Pereira, Fernando"}},
+	}
+	labels := []int{0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3}
+
+	schemes := []struct {
+		name   string
+		scheme blocking.Scheme
+	}{
+		{"exact-key (the paper's)", blocking.ExactKey{}},
+		{"token blocking", blocking.TokenBlocking{}},
+		{"sorted neighborhood w=3", blocking.SortedNeighborhood{Window: 3}},
+		{"canopy (0.3 / 0.8)", blocking.Canopy{Loose: 0.3, Tight: 0.8}},
+	}
+
+	fmt.Println("scheme                      pairs  completeness  reduction")
+	for _, s := range schemes {
+		pairs := s.scheme.Candidates(records)
+		st := blocking.Evaluate(pairs, labels)
+		fmt.Printf("%-26s %6d        %.3f      %.3f\n",
+			s.name, st.Candidates, st.PairCompleteness, st.ReductionRatio)
+	}
+
+	fmt.Println("\nExact-key blocking misses every name-variant pair; token blocking")
+	fmt.Println("recovers pairs sharing a surname token; canopy clustering with a")
+	fmt.Println("cheap Jaccard similarity trades a little reduction for the variant")
+	fmt.Println("pairs that matter. The similarity stage then prunes false")
+	fmt.Println("candidates, so blocking recall is what counts.")
+}

@@ -1,0 +1,116 @@
+// Customsim: extend the framework with your own similarity function.
+//
+// The ten built-in functions (Table I of the paper) do not use page
+// locations; this example defines an eleventh function comparing location
+// mentions, then drives the framework's lower-level API directly: prepare a
+// block, compute the similarity matrix, draw a training sample, fit both a
+// threshold and k-means accuracy regions, and compare the two decision
+// criteria on the final clustering — the paper's Section IV-A experiment,
+// on a brand-new function.
+//
+// Run with:
+//
+//	go run ./examples/customsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ergraph"
+	"repro/internal/eval"
+	"repro/internal/regions"
+	"repro/internal/simfn"
+	"repro/internal/stats"
+	"repro/internal/textsim"
+)
+
+func main() {
+	// A custom similarity function: overlap of location mentions,
+	// saturating at two shared locations — same shape as F4-F6.
+	locationSim := simfn.Func{
+		ID:      "F11",
+		Feature: "Location entities on the page",
+		Measure: "Number of overlapping locations",
+		Compare: func(a, b *simfn.Doc) float64 {
+			n := textsim.SetOverlapCount(a.Features.Locations, b.Features.Locations)
+			return textsim.NormalizedOverlap(n, 2)
+		},
+	}
+
+	col, err := corpus.GenerateCollection(corpus.CollectionConfig{
+		Name: "garcia", NumDocs: 60, NumPersonas: 5,
+		Noise: 0.5, MissingInfo: 0.25, Spurious: 0.3, Template: 0.25, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Lower-level pipeline, step by step.
+	block := simfn.PrepareBlock(col, nil)
+	matrix := simfn.ComputeMatrix(block, locationSim)
+
+	rng := stats.NewRNG(1)
+	train, err := core.NewTraining(block, 0.10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	values := train.Values(matrix)
+
+	// Criterion 1: a single trained threshold.
+	threshold := core.LearnThreshold(values, train.Links)
+	fmt.Printf("custom function %s (%s)\n", locationSim.ID, locationSim.Feature)
+	fmt.Printf("trained threshold: %.3f\n\n", threshold)
+
+	// Criterion 2: k-means regions with per-region link accuracy.
+	km, err := regions.FitKMeans1D(values, 10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := regions.EstimateAccuracy(km, values, train.Links)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-region link accuracy (the Figure 1 analysis for F11):")
+	lo := 0.0
+	for r, hi := range est.Part.Boundaries() {
+		fmt.Printf("  region %d [%.3f, %.3f): accuracy %.3f (n=%d)\n",
+			r, lo, hi, est.Accuracy[r], est.Support[r])
+		lo = hi
+	}
+
+	// Build both decision graphs and cluster by transitive closure.
+	truth := col.GroundTruth()
+	for _, crit := range []struct {
+		label  string
+		decide func(v float64) bool
+	}{
+		{"threshold", func(v float64) bool { return v >= threshold }},
+		{"k-means regions", est.Decide},
+	} {
+		g := ergraph.NewGraph(len(block.Docs))
+		for i := 0; i < len(block.Docs); i++ {
+			for j := i + 1; j < len(block.Docs); j++ {
+				if crit.decide(matrix.At(i, j)) {
+					if err := g.AddEdge(i, j); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}
+		labels := g.ConnectedComponents()
+		score, err := eval.Evaluate(labels, truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-16s: %d entities, Fp=%.4f F=%.4f Rand=%.4f",
+			crit.label, ergraph.NumClusters(labels), score.Fp, score.F, score.Rand)
+	}
+	fmt.Println()
+	fmt.Println("\nLocation overlap alone is a weak identity signal (many people share")
+	fmt.Println("a city), which is exactly what the region accuracies above quantify —")
+	fmt.Println("in the full framework this function would contribute through the")
+	fmt.Println("accuracy-weighted combination rather than stand alone.")
+}

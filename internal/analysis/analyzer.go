@@ -1,0 +1,72 @@
+package analysis
+
+// Analyzer is a configurable text-analysis chain producing index terms from
+// raw text: tokenize → lower-case → (optional) stopword removal →
+// (optional) Porter stemming. The zero value is not usable; construct one
+// with NewAnalyzer or use the package-level Standard analyzer.
+type Analyzer struct {
+	removeStopwords bool
+	stem            bool
+	minTokenLen     int
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithoutStopwords disables stopword removal.
+func WithoutStopwords() Option {
+	return func(a *Analyzer) { a.removeStopwords = false }
+}
+
+// WithoutStemming disables Porter stemming.
+func WithoutStemming() Option {
+	return func(a *Analyzer) { a.stem = false }
+}
+
+// WithMinTokenLength drops tokens shorter than n runes after normalization.
+func WithMinTokenLength(n int) Option {
+	return func(a *Analyzer) { a.minTokenLen = n }
+}
+
+// NewAnalyzer returns an analyzer with the standard chain (stopword removal
+// and stemming on, minimum token length 2) modified by the given options.
+func NewAnalyzer(opts ...Option) *Analyzer {
+	a := &Analyzer{removeStopwords: true, stem: true, minTokenLen: 2}
+	for _, opt := range opts {
+		opt(a)
+	}
+	return a
+}
+
+// Standard is the shared default analyzer used across the framework.
+var Standard = NewAnalyzer()
+
+// Terms runs the full chain on text and returns the resulting index terms
+// in document order (duplicates preserved — term frequency matters).
+func (a *Analyzer) Terms(text string) []string {
+	raw := Tokenize(text)
+	out := make([]string, 0, len(raw))
+	for _, tok := range raw {
+		t := FoldCase(tok)
+		if a.removeStopwords && IsStopword(t) {
+			continue
+		}
+		if a.stem {
+			t = PorterStem(t)
+		}
+		if len([]rune(t)) < a.minTokenLen {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// TermFreqs runs the chain and returns a term → frequency map.
+func (a *Analyzer) TermFreqs(text string) map[string]int {
+	freqs := make(map[string]int)
+	for _, t := range a.Terms(text) {
+		freqs[t]++
+	}
+	return freqs
+}

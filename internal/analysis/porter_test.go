@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Reference pairs from Porter's published examples and the standard
+// vocabulary test set.
+func TestPorterStemKnownValues(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// Step 1a
+		{"caresses", "caress"},
+		{"ponies", "poni"},
+		{"ties", "ti"},
+		{"caress", "caress"},
+		{"cats", "cat"},
+		// Step 1b
+		{"feed", "feed"},
+		{"agreed", "agre"},
+		{"plastered", "plaster"},
+		{"bled", "bled"},
+		{"motoring", "motor"},
+		{"sing", "sing"},
+		{"conflated", "conflat"},
+		{"troubled", "troubl"},
+		{"sized", "size"},
+		{"hopping", "hop"},
+		{"tanned", "tan"},
+		{"falling", "fall"},
+		{"hissing", "hiss"},
+		{"fizzed", "fizz"},
+		{"failing", "fail"},
+		{"filing", "file"},
+		// Step 1c
+		{"happy", "happi"},
+		{"sky", "sky"},
+		// Step 2
+		{"relational", "relat"},
+		{"conditional", "condit"},
+		{"rational", "ration"},
+		{"valenci", "valenc"},
+		{"hesitanci", "hesit"},
+		{"digitizer", "digit"},
+		{"conformabli", "conform"},
+		{"radicalli", "radic"},
+		{"differentli", "differ"},
+		{"vileli", "vile"},
+		{"analogousli", "analog"},
+		{"vietnamization", "vietnam"},
+		{"predication", "predic"},
+		{"operator", "oper"},
+		{"feudalism", "feudal"},
+		{"decisiveness", "decis"},
+		{"hopefulness", "hope"},
+		{"callousness", "callous"},
+		{"formaliti", "formal"},
+		{"sensitiviti", "sensit"},
+		{"sensibiliti", "sensibl"},
+		// Step 3
+		{"triplicate", "triplic"},
+		{"formative", "form"},
+		{"formalize", "formal"},
+		{"electriciti", "electr"},
+		{"electrical", "electr"},
+		{"hopeful", "hope"},
+		{"goodness", "good"},
+		// Step 4
+		{"revival", "reviv"},
+		{"allowance", "allow"},
+		{"inference", "infer"},
+		{"airliner", "airlin"},
+		{"gyroscopic", "gyroscop"},
+		{"adjustable", "adjust"},
+		{"defensible", "defens"},
+		{"irritant", "irrit"},
+		{"replacement", "replac"},
+		{"adjustment", "adjust"},
+		{"dependent", "depend"},
+		{"adoption", "adopt"},
+		{"communism", "commun"},
+		{"activate", "activ"},
+		{"angulariti", "angular"},
+		{"homologous", "homolog"},
+		{"effective", "effect"},
+		{"bowdlerize", "bowdler"},
+		// Step 5
+		{"probate", "probat"},
+		{"rate", "rate"},
+		{"cease", "ceas"},
+		{"controll", "control"},
+		{"roll", "roll"},
+		// General
+		{"university", "univers"},
+		{"universities", "univers"},
+		{"running", "run"},
+		{"database", "databas"},
+		{"databases", "databas"},
+	}
+	for _, tc := range cases {
+		if got := PorterStem(tc.in); got != tc.want {
+			t.Errorf("PorterStem(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPorterStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "be"} {
+		if got := PorterStem(w); got != w {
+			t.Errorf("short word %q changed to %q", w, got)
+		}
+	}
+}
+
+func TestPorterStemNonAlpha(t *testing.T) {
+	for _, w := range []string{"abc123", "año2024", "c++"} {
+		if got := PorterStem(w); got != w {
+			t.Errorf("non-alpha %q changed to %q", w, got)
+		}
+	}
+}
+
+func TestPorterStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem usually returns the stem itself for typical
+	// vocabulary. (This is not a theorem for all of Porter, but holds on
+	// the standard test vocabulary; we check a representative sample.)
+	words := []string{
+		"run", "walk", "comput", "databas", "network", "cluster",
+		"entiti", "resolut", "similar", "person", "organ", "page",
+	}
+	for _, w := range words {
+		once := PorterStem(w)
+		twice := PorterStem(once)
+		if once != twice {
+			t.Errorf("not idempotent: %q → %q → %q", w, once, twice)
+		}
+	}
+}
+
+func TestPorterStemNeverPanicsProperty(t *testing.T) {
+	f := func(w string) bool {
+		_ = PorterStem(w)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPorterStemNeverGrowsAlphaWordsProperty(t *testing.T) {
+	// For pure a-z inputs, the stem is never longer than the word except
+	// for the undoubling/e-restoring rules which can add at most one byte
+	// relative to the post-removal form, never relative to the input.
+	f := func(raw []byte) bool {
+		w := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			w = append(w, 'a'+b%26)
+		}
+		word := string(w)
+		return len(PorterStem(word)) <= len(word)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

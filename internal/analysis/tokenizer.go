@@ -1,0 +1,78 @@
+// Package analysis implements the text-analysis chain the framework uses to
+// turn raw web-page text into index terms: tokenization, lower-casing,
+// stopword removal and Porter stemming. It is the stand-in for the Lucene
+// analysis pipeline the paper used to build document vectors.
+package analysis
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into word tokens. A token is a maximal run of
+// letters, digits and embedded apostrophes/hyphens between letters; all
+// other characters separate tokens. Tokens are returned in document order,
+// preserving case (use the Analyzer for the full normalizing chain).
+func Tokenize(text string) []string {
+	var tokens []string
+	runes := []rune(text)
+	i := 0
+	for i < len(runes) {
+		if !isTokenRune(runes[i]) {
+			i++
+			continue
+		}
+		start := i
+		for i < len(runes) && (isTokenRune(runes[i]) || isJoiner(runes, i)) {
+			i++
+		}
+		tokens = append(tokens, string(runes[start:i]))
+	}
+	return tokens
+}
+
+// isTokenRune reports whether r can appear inside a token on its own.
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// isJoiner reports whether the rune at position i joins two token runes
+// (apostrophe or hyphen flanked by letters/digits), so "don't" and
+// "state-of-the-art" survive as single tokens.
+func isJoiner(runes []rune, i int) bool {
+	r := runes[i]
+	if r != '\'' && r != '-' && r != '’' {
+		return false
+	}
+	if i == 0 || i+1 >= len(runes) {
+		return false
+	}
+	return isTokenRune(runes[i-1]) && isTokenRune(runes[i+1])
+}
+
+// FoldCase lower-cases a token using Unicode case folding rules adequate for
+// English web text.
+func FoldCase(token string) string {
+	return strings.ToLower(token)
+}
+
+// Sentences splits text into rough sentences on terminal punctuation. The
+// corpus generator and extractors use it to scope entity co-occurrence.
+func Sentences(text string) []string {
+	var out []string
+	var b strings.Builder
+	for _, r := range text {
+		b.WriteRune(r)
+		if r == '.' || r == '!' || r == '?' {
+			s := strings.TrimSpace(b.String())
+			if s != "" {
+				out = append(out, s)
+			}
+			b.Reset()
+		}
+	}
+	if s := strings.TrimSpace(b.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/simfn"
+	"repro/internal/stats"
+)
+
+// Training is the labeled sample the framework learns from: a fraction of
+// the block's documents is revealed, and every pair among them becomes a
+// labeled training pair ("a small training sample, where we know the
+// equivalence relations").
+type Training struct {
+	// Docs are the revealed document indices.
+	Docs []int
+	// Pairs are the training pairs (indices into the block).
+	Pairs [][2]int
+	// Links are the ground-truth labels, parallel to Pairs.
+	Links []bool
+	// DocTruth is the ground-truth persona label per revealed document,
+	// parallel to Docs.
+	DocTruth []int
+}
+
+// NewTraining samples a training set from the block. The paper trains on
+// "10% of the complete dataset"; we read the dataset as the pair space the
+// similarity functions operate on, so a fraction f reveals ceil(sqrt(f)·n)
+// documents — all pairs among them (≈ f of all pairs) become labeled
+// training pairs. At least 4 documents are always revealed so some pairs
+// exist.
+func NewTraining(b *simfn.Block, fraction float64, rng *rand.Rand) (*Training, error) {
+	n := len(b.Docs)
+	if n < 2 {
+		return nil, fmt.Errorf("core: block %q has %d documents", b.Name, n)
+	}
+	k := int(math.Ceil(math.Sqrt(fraction) * float64(n)))
+	if k < 4 {
+		k = 4
+	}
+	if k > n {
+		k = n
+	}
+	docs := stats.SampleWithoutReplacement(rng, n, k)
+	sort.Ints(docs)
+	t := &Training{Docs: docs}
+	for _, d := range docs {
+		t.DocTruth = append(t.DocTruth, b.Truth[d])
+	}
+	for i := 0; i < len(docs); i++ {
+		for j := i + 1; j < len(docs); j++ {
+			a, b2 := docs[i], docs[j]
+			t.Pairs = append(t.Pairs, [2]int{a, b2})
+			t.Links = append(t.Links, b.Truth[a] == b.Truth[b2])
+		}
+	}
+	return t, nil
+}
+
+// Values extracts the similarity values of the training pairs from a
+// similarity matrix, parallel to Pairs.
+func (t *Training) Values(m *simfn.Matrix) []float64 {
+	out := make([]float64, len(t.Pairs))
+	for i, p := range t.Pairs {
+		out[i] = m.At(p[0], p[1])
+	}
+	return out
+}
+
+// Positives returns the number of positive (link) training pairs.
+func (t *Training) Positives() int {
+	c := 0
+	for _, l := range t.Links {
+		if l {
+			c++
+		}
+	}
+	return c
+}
+
+// LearnThreshold picks the threshold maximizing the number of correct
+// decisions on the training sample ("we have chosen a threshold, which –
+// based on the training set – maximizes the number of correct decisions").
+// Candidates are midpoints between adjacent distinct values plus the
+// extremes 0 and 1+ε; ties prefer the higher threshold (fewer links, safer
+// precision). With no data it returns 0.5.
+func LearnThreshold(values []float64, links []bool) float64 {
+	if len(values) == 0 || len(values) != len(links) {
+		return 0.5
+	}
+	type vl struct {
+		v    float64
+		link bool
+	}
+	pairs := make([]vl, len(values))
+	for i := range values {
+		pairs[i] = vl{values[i], links[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+
+	totalPos := 0
+	for _, p := range pairs {
+		if p.link {
+			totalPos++
+		}
+	}
+	// Threshold t classifies v >= t as link. Sweep thresholds from above
+	// the max (everything non-link) down; correct(t) = negBelow + posAtOrAbove.
+	// Start: t = max+ε → correct = totalNeg.
+	bestCorrect := len(pairs) - totalPos
+	bestThreshold := pairs[len(pairs)-1].v + 1e-9
+	if bestThreshold > 1 {
+		bestThreshold = 1
+	}
+
+	// Walk cut positions: threshold just below pairs[i].v for descending i
+	// groups of equal value.
+	posAbove, negAbove := 0, 0
+	i := len(pairs) - 1
+	for i >= 0 {
+		j := i
+		for j >= 0 && pairs[j].v == pairs[i].v {
+			if pairs[j].link {
+				posAbove++
+			} else {
+				negAbove++
+			}
+			j--
+		}
+		// Threshold between pairs[j].v and pairs[i].v (or at 0).
+		var t float64
+		if j >= 0 {
+			t = (pairs[j].v + pairs[i].v) / 2
+		} else {
+			t = pairs[i].v - 1e-9
+			if t < 0 {
+				t = 0
+			}
+		}
+		correct := (len(pairs) - totalPos - negAbove) + posAbove
+		if correct > bestCorrect {
+			bestCorrect = correct
+			bestThreshold = t
+		}
+		i = j
+	}
+	return stats.Clamp(bestThreshold, 0, 1)
+}

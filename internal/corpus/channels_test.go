@@ -1,0 +1,104 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSampleChannelsAlwaysHasStrongChannel(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := stats.NewRNG(seed)
+		c := sampleChannels(rng)
+		max := c.URL
+		for _, v := range []float64{c.Topic, c.Orgs, c.Persons, c.Names} {
+			if v > max {
+				max = v
+			}
+		}
+		if max < 0.85 {
+			t.Fatalf("seed %d: no strong channel (max %v)", seed, max)
+		}
+		for _, v := range []float64{c.URL, c.Topic, c.Orgs, c.Persons, c.Names} {
+			if v < 0 || v > 1 {
+				t.Fatalf("seed %d: channel out of range: %v", seed, v)
+			}
+		}
+	}
+}
+
+func TestChannelScaleWeakensSignals(t *testing.T) {
+	base := CollectionConfig{
+		Name: "walker", NumDocs: 60, NumPersonas: 5,
+		Noise: 0.5, MissingInfo: 0.25, Spurious: 0.3, Template: 0.25, Seed: 9,
+	}
+	scaled := base
+	scaled.ChannelScale = 0.3
+
+	colBase, err := GenerateCollection(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colScaled, err := GenerateCollection(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weaker channels → fewer organization mentions and shorter topical
+	// content overall. Compare total text volume carrying signal words.
+	baseLen, scaledLen := 0, 0
+	for i := range colBase.Docs {
+		baseLen += len(colBase.Docs[i].Text)
+		scaledLen += len(colScaled.Docs[i].Text)
+	}
+	if scaledLen >= baseLen {
+		t.Errorf("scaled collection should carry less content: %d >= %d", scaledLen, baseLen)
+	}
+}
+
+func TestTemplatePagesShareText(t *testing.T) {
+	col, err := GenerateCollection(CollectionConfig{
+		Name: "scott", NumDocs: 60, NumPersonas: 4,
+		Noise: 0.3, MissingInfo: 0.2, Spurious: 0.2, Template: 1.0, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With Template=1 every page carries the chrome block; a distinctive
+	// chrome sentence must appear on (nearly) all pages.
+	// Find a sentence present on page 0 that contains a boilerplate marker.
+	var marker string
+	for _, s := range strings.Split(col.Docs[0].Text, ". ") {
+		if strings.Contains(s, "sponsored by") {
+			marker = s
+			break
+		}
+	}
+	if marker == "" {
+		t.Fatal("no template marker found on page 0")
+	}
+	count := 0
+	for _, d := range col.Docs {
+		if strings.Contains(d.Text, marker) {
+			count++
+		}
+	}
+	if count < len(col.Docs)*9/10 {
+		t.Errorf("template marker on %d/%d pages, want nearly all", count, len(col.Docs))
+	}
+}
+
+func TestTemplateZeroMeansNoSharedChrome(t *testing.T) {
+	col, err := GenerateCollection(CollectionConfig{
+		Name: "hill", NumDocs: 40, NumPersonas: 4,
+		Noise: 0.3, MissingInfo: 0.2, Spurious: 0.2, Template: 0, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range col.Docs {
+		if strings.Contains(d.Text, "sponsored by") {
+			t.Fatalf("template content leaked with Template=0: %q", d.Text)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/wordlists"
+)
+
+// CollectionConfig parameterizes the generation of one collection (all
+// pages retrieved for one ambiguous name).
+type CollectionConfig struct {
+	// Name is the ambiguous query surname.
+	Name string
+	// NumDocs is the number of retrieved pages (WWW'05 used ~100, WePS-2
+	// used ~150).
+	NumDocs int
+	// NumPersonas is the number of distinct real persons behind the name.
+	NumPersonas int
+	// Noise in [0,1] scales how much boilerplate dilutes the pages.
+	Noise float64
+	// MissingInfo in [0,1] is the probability that a page drops an entire
+	// feature channel (the paper's "partial or incomplete information").
+	MissingInfo float64
+	// Spurious in [0,1] is the probability of injecting misleading
+	// entities into a page (extraction noise / off-topic mentions).
+	Spurious float64
+	// ChannelScale multiplies every sampled channel informativeness;
+	// values below 1 weaken all identity signals uniformly, making the
+	// dataset harder (the WePS profile uses it — real WePS-2 pages are
+	// markedly harder than the WWW'05 crawl). Zero means 1 (no scaling).
+	ChannelScale float64
+	// Template in [0,1] is the probability that a page is rendered from
+	// the collection's shared site template (directory/mirror pages).
+	// Template pages share large identical text blocks and a few "site
+	// sponsor" organizations and "site editor" person names, giving
+	// cross-persona pairs deceptively high TF-IDF and overlap similarity
+	// in a specific high band — the non-monotone structure that region-
+	// based accuracy estimation exploits and a single threshold cannot.
+	Template float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateCollection builds one synthetic collection. Persona attributes,
+// per-collection channel informativeness and per-page quality are all drawn
+// from the seeded RNG, so equal configs produce identical collections.
+func GenerateCollection(cfg CollectionConfig) (*Collection, error) {
+	if cfg.NumDocs <= 0 {
+		return nil, fmt.Errorf("corpus: NumDocs = %d", cfg.NumDocs)
+	}
+	if cfg.NumPersonas <= 0 || cfg.NumPersonas > cfg.NumDocs {
+		return nil, fmt.Errorf("corpus: NumPersonas = %d with %d docs", cfg.NumPersonas, cfg.NumDocs)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	channels := sampleChannels(rng)
+	if cfg.ChannelScale > 0 {
+		channels.URL *= cfg.ChannelScale
+		channels.Topic *= cfg.ChannelScale
+		channels.Orgs *= cfg.ChannelScale
+		channels.Persons *= cfg.ChannelScale
+		channels.Names *= cfg.ChannelScale
+	}
+	usedFirst := make(map[string]bool)
+	personas := make([]Persona, cfg.NumPersonas)
+	for i := range personas {
+		personas[i] = newPersona(rng, i, cfg.Name, usedFirst)
+	}
+
+	sizes := clusterSizes(rng, cfg.NumDocs, cfg.NumPersonas)
+	col := &Collection{Name: cfg.Name, NumPersonas: cfg.NumPersonas}
+	g := &pageGenerator{rng: rng, cfg: cfg, channels: channels}
+	g.template = buildSiteTemplate(rng)
+	for pid, size := range sizes {
+		for j := 0; j < size; j++ {
+			doc := g.page(&personas[pid], len(col.Docs), j)
+			col.Docs = append(col.Docs, doc)
+		}
+	}
+	// Shuffle document order (crawl order carries no cluster signal), then
+	// re-assign dense IDs.
+	rng.Shuffle(len(col.Docs), func(i, j int) { col.Docs[i], col.Docs[j] = col.Docs[j], col.Docs[i] })
+	for i := range col.Docs {
+		col.Docs[i].ID = i
+	}
+	return col, nil
+}
+
+// clusterSizes splits n documents over k personas with a Zipf-skewed
+// distribution (a dominant person plus a long tail, the shape observed in
+// web people-search data), guaranteeing each persona at least one page.
+func clusterSizes(rng *rand.Rand, n, k int) []int {
+	sizes := make([]int, k)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	remaining := n - k
+	weights := make([]float64, k)
+	for i := range weights {
+		weights[i] = 1.0 / float64(i+1) // Zipf s=1 over persona rank
+	}
+	for r := 0; r < remaining; r++ {
+		sizes[stats.WeightedChoice(rng, weights)]++
+	}
+	return sizes
+}
+
+// pageGenerator builds page text and URLs for one collection.
+type pageGenerator struct {
+	rng      *rand.Rand
+	cfg      CollectionConfig
+	channels ChannelInformativeness
+	template []string
+}
+
+// buildSiteTemplate assembles the collection's shared page chrome: a block
+// of navigation-style sentences plus a few sponsor organizations and site
+// editors that appear verbatim on every template page.
+func buildSiteTemplate(rng *rand.Rand) []string {
+	pick := func() string {
+		return wordlists.BoilerplateWords[rng.Intn(len(wordlists.BoilerplateWords))]
+	}
+	n := 8 + rng.Intn(6)
+	out := make([]string, 0, n+4)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			out = append(out, fmt.Sprintf("Visit the %s %s and %s sections.", pick(), pick(), pick()))
+		case 1:
+			out = append(out, fmt.Sprintf("Browse %s, %s, %s and %s here.", pick(), pick(), pick(), pick()))
+		default:
+			out = append(out, fmt.Sprintf("The %s and %s pages are updated weekly.", pick(), pick()))
+		}
+	}
+	// Site sponsors and editors: deceptive overlap for F5 and F6.
+	for i := 0; i < 2; i++ {
+		org := wordlists.Organizations[rng.Intn(len(wordlists.Organizations))]
+		out = append(out, fmt.Sprintf("This site is sponsored by %s.", title(org)))
+	}
+	first := wordlists.FirstNames[rng.Intn(len(wordlists.FirstNames))]
+	last := wordlists.Surnames[rng.Intn(len(wordlists.Surnames))]
+	out = append(out, fmt.Sprintf("Site maintained by editor %s.", title(first+" "+last)))
+	return out
+}
+
+// page generates the j-th page of a persona.
+func (g *pageGenerator) page(p *Persona, docID, j int) Document {
+	// Per-page quality models how much information a page exposes; low
+	// quality pages are the "partial or incomplete information" case.
+	q := 0.3 + 0.7*g.rng.Float64()
+
+	var sentences []string
+	add := func(s string) { sentences = append(sentences, s) }
+
+	// --- Name mentions (channels: Names) ---
+	fullNameProb := g.channels.Names * q
+	mentions := 1 + g.rng.Intn(3)
+	for m := 0; m < mentions; m++ {
+		name := title(g.cfg.Name)
+		if g.rng.Float64() < fullNameProb {
+			name = title(p.FullName(g.cfg.Name))
+		}
+		add(g.nameSentence(name, p))
+	}
+
+	// --- Topical content (channels: Topic) ---
+	topicSentences := int(q * g.channels.Topic * 7)
+	for m := 0; m < topicSentences; m++ {
+		topic := p.Topic
+		if p.SecondaryTopic != "" && g.rng.Float64() < 0.3 {
+			topic = p.SecondaryTopic
+		}
+		add(g.topicSentence(topic))
+	}
+	// Concept label mention: strong explicit signal, present on good pages.
+	if topicSentences > 0 && g.rng.Float64() < q*g.channels.Topic {
+		concepts := wordlists.Concepts[p.Topic]
+		add("See also: " + concepts[g.rng.Intn(len(concepts))] + ".")
+	}
+
+	// --- Affiliations (channels: Orgs) ---
+	if g.rng.Float64() >= g.cfg.MissingInfo {
+		for _, org := range p.Organizations {
+			if g.rng.Float64() < q*g.channels.Orgs {
+				add(g.orgSentence(title(g.cfg.Name), org))
+			}
+		}
+	}
+
+	// --- Associates (channels: Persons) ---
+	if g.rng.Float64() >= g.cfg.MissingInfo {
+		for _, assoc := range p.Associates {
+			if g.rng.Float64() < q*g.channels.Persons {
+				add(g.assocSentence(title(g.cfg.Name), title(assoc)))
+			}
+		}
+	}
+	// Some pages feature an associate more prominently than the queried
+	// person (event reports, co-author pages), so the most frequent name
+	// on the page is not always the query name — the reason F3 carries
+	// very different signal on different pages.
+	if len(p.Associates) > 0 && g.rng.Float64() < 0.25 {
+		star := title(p.Associates[g.rng.Intn(len(p.Associates))])
+		extra := 2 + g.rng.Intn(3)
+		for m := 0; m < extra; m++ {
+			add(g.assocSentence(star, title(g.cfg.Name)))
+		}
+	}
+
+	// --- Location ---
+	if g.rng.Float64() < q*0.6 {
+		add(fmt.Sprintf("Based in %s.", title(p.Location)))
+	}
+
+	// --- Spurious entities: extraction noise and off-topic mentions ---
+	if g.rng.Float64() < g.cfg.Spurious {
+		org := wordlists.Organizations[g.rng.Intn(len(wordlists.Organizations))]
+		add(fmt.Sprintf("Sponsored content from %s.", title(org)))
+	}
+	if g.rng.Float64() < g.cfg.Spurious {
+		first := wordlists.FirstNames[g.rng.Intn(len(wordlists.FirstNames))]
+		last := wordlists.Surnames[g.rng.Intn(len(wordlists.Surnames))]
+		add(fmt.Sprintf("In other news, %s commented on the story.",
+			title(first+" "+last)))
+	}
+	if g.rng.Float64() < g.cfg.Spurious {
+		topic := wordlists.TopicNames[g.rng.Intn(len(wordlists.TopicNames))]
+		add(g.topicSentence(topic))
+	}
+
+	// --- Boilerplate filler diluting the signal ---
+	fillers := int((1 - q) * g.cfg.Noise * 8)
+	for m := 0; m < fillers; m++ {
+		add(wordlists.FillerSentences[g.rng.Intn(len(wordlists.FillerSentences))])
+	}
+
+	// --- Shared site template (mirror/directory chrome) ---
+	// Template pages carry the collection's verbatim chrome block, so any
+	// two of them look near-identical to TF-IDF measures regardless of
+	// which person they are about.
+	if g.rng.Float64() < g.cfg.Template {
+		sentences = append(sentences, g.template...)
+	}
+
+	// Shuffle sentence order; web pages have no canonical layout.
+	g.rng.Shuffle(len(sentences), func(i, k int) {
+		sentences[i], sentences[k] = sentences[k], sentences[i]
+	})
+
+	return Document{
+		ID:        docID,
+		URL:       g.pageURL(p, docID, j, q),
+		Text:      strings.Join(sentences, " "),
+		PersonaID: p.ID,
+	}
+}
+
+func (g *pageGenerator) pageURL(p *Persona, docID, j int, q float64) string {
+	if g.rng.Float64() < g.channels.URL*q {
+		return fmt.Sprintf("http://%s/%s/page%d.html", p.HomeDomain, p.Slug, j)
+	}
+	domain := wordlists.Domains[g.rng.Intn(len(wordlists.Domains))]
+	return fmt.Sprintf("http://%s/articles/item%d.html", domain, docID)
+}
+
+func (g *pageGenerator) nameSentence(name string, p *Persona) string {
+	words := wordlists.TopicWords[p.Topic]
+	w := words[g.rng.Intn(len(words))]
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s has been involved with %s for many years.", name, w)
+	case 1:
+		return fmt.Sprintf("The page of %s covers %s topics.", name, w)
+	case 2:
+		return fmt.Sprintf("%s announced an update regarding %s.", name, w)
+	default:
+		return fmt.Sprintf("About %s: interests include %s.", name, w)
+	}
+}
+
+func (g *pageGenerator) topicSentence(topic string) string {
+	words := wordlists.TopicWords[topic]
+	pick := func() string { return words[g.rng.Intn(len(words))] }
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("The %s of %s remains a central challenge in %s.", pick(), pick(), pick())
+	case 1:
+		return fmt.Sprintf("Recent work on %s combines %s with %s.", pick(), pick(), pick())
+	case 2:
+		return fmt.Sprintf("A practical guide to %s and %s.", pick(), pick())
+	default:
+		return fmt.Sprintf("Notes about %s, %s, and %s appear below.", pick(), pick(), pick())
+	}
+}
+
+func (g *pageGenerator) orgSentence(name, org string) string {
+	org = title(org)
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%s works at %s.", name, org)
+	case 1:
+		return fmt.Sprintf("%s is affiliated with %s.", name, org)
+	default:
+		return fmt.Sprintf("Before that, %s spent several years at %s.", name, org)
+	}
+}
+
+func (g *pageGenerator) assocSentence(name, assoc string) string {
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%s collaborates closely with %s.", name, assoc)
+	case 1:
+		return fmt.Sprintf("%s and %s appeared together at the meeting.", name, assoc)
+	default:
+		return fmt.Sprintf("Contact %s or %s for details.", name, assoc)
+	}
+}
+
+// title upper-cases the first letter of each space-separated word; a local
+// replacement for the deprecated strings.Title adequate for ASCII names.
+func title(s string) string {
+	parts := strings.Fields(s)
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		if p[0] >= 'a' && p[0] <= 'z' {
+			parts[i] = string(p[0]-32) + p[1:]
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,141 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// DatasetProfile describes a whole synthetic dataset: names, sizes and
+// noise knobs. WWW05Profile and WePSProfile reproduce the two evaluation
+// datasets of the paper.
+type DatasetProfile struct {
+	// Label names the dataset.
+	Label string
+	// Names are the ambiguous query surnames, one collection each.
+	Names []string
+	// DocsPerName is the retrieved page count per name.
+	DocsPerName int
+	// ClusterCounts gives the number of personas per name, parallel to
+	// Names.
+	ClusterCounts []int
+	// Noise, MissingInfo, Spurious and Template are passed to every
+	// collection.
+	Noise, MissingInfo, Spurious, Template float64
+	// ChannelScale weakens all identity channels when below 1 (0 = off).
+	ChannelScale float64
+}
+
+// WWW05Names are the ambiguous surnames of the synthetic WWW'05 stand-in.
+// They mirror the 12 names of Bekkerman & McCallum's dataset.
+var WWW05Names = []string{
+	"cheyer", "cohen", "hardt", "israel", "kaelbling", "mark",
+	"mccallum", "mitchell", "mulford", "ng", "pereira", "voss",
+}
+
+// www05ClusterCounts spans the 2-61 range the paper reports for the
+// per-name number of real persons.
+var www05ClusterCounts = []int{2, 3, 4, 6, 8, 10, 13, 17, 22, 30, 44, 61}
+
+// WWW05Profile is the synthetic stand-in for the WWW'05 dataset: 12
+// ambiguous names, ~100 pages each, cluster counts from 2 to 61.
+func WWW05Profile() DatasetProfile {
+	return DatasetProfile{
+		Label:         "www05-synthetic",
+		Names:         WWW05Names,
+		DocsPerName:   100,
+		ClusterCounts: www05ClusterCounts,
+		Noise:         0.5,
+		MissingInfo:   0.25,
+		Spurious:      0.3,
+		Template:      0.25,
+	}
+}
+
+// WePSACLNames are the 10 ACL'08-style names whose scores the paper
+// reports from the WePS-2 evaluation.
+var WePSACLNames = []string{
+	"chen", "kalashnikov", "mehrotra", "aberer", "miklos",
+	"yerva", "bekkerman", "garcia", "nguyen", "torres",
+}
+
+// wepsOtherNames complete the 30 WePS collections (Wikipedia-style and US
+// census-style sources).
+var wepsOtherNames = []string{
+	// wikipedia-style
+	"walker", "king", "wright", "scott", "hill", "green", "adams",
+	"nelson", "baker", "hall",
+	// census-style
+	"rivera", "campbell", "carter", "roberts", "thompson", "white",
+	"harris", "sanchez", "clark", "lewis",
+}
+
+// WePSProfile is the synthetic stand-in for the WePS-2 clustering task: 30
+// ambiguous names (10 ACL-style, 10 Wikipedia-style, 10 census-style), 150
+// pages each, noisier and more fragmented than WWW'05 — which is why
+// absolute scores are lower, as in the paper.
+func WePSProfile() DatasetProfile {
+	names := make([]string, 0, 30)
+	names = append(names, WePSACLNames...)
+	names = append(names, wepsOtherNames...)
+	counts := make([]int, len(names))
+	// WePS collections are more fragmented: 10-70 entities per name.
+	for i := range counts {
+		counts[i] = 10 + (i*60)/len(counts)
+	}
+	return DatasetProfile{
+		Label:         "weps-synthetic",
+		Names:         names,
+		DocsPerName:   150,
+		ClusterCounts: counts,
+		Noise:         0.9,
+		MissingInfo:   0.55,
+		Spurious:      0.55,
+		Template:      0.45,
+		ChannelScale:  0.72,
+	}
+}
+
+// Generate materializes the profile into a dataset. Each collection draws
+// an independent seed split from the root seed, so per-name generation is
+// order-independent and reproducible.
+func (p DatasetProfile) Generate(seed int64) (*Dataset, error) {
+	if len(p.Names) != len(p.ClusterCounts) {
+		return nil, fmt.Errorf("corpus: %d names but %d cluster counts", len(p.Names), len(p.ClusterCounts))
+	}
+	d := &Dataset{Label: p.Label}
+	for i, name := range p.Names {
+		col, err := GenerateCollection(CollectionConfig{
+			Name:         name,
+			NumDocs:      p.DocsPerName,
+			NumPersonas:  p.ClusterCounts[i],
+			Noise:        p.Noise,
+			MissingInfo:  p.MissingInfo,
+			Spurious:     p.Spurious,
+			Template:     p.Template,
+			ChannelScale: p.ChannelScale,
+			Seed:         stats.SplitSeed(seed, p.Label+"/"+name),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("corpus: generating %q: %w", name, err)
+		}
+		d.Collections = append(d.Collections, col)
+	}
+	return d, nil
+}
+
+// Subset returns a copy of the dataset restricted to the named collections,
+// preserving their order in names. Unknown names are skipped.
+func (d *Dataset) Subset(names []string) *Dataset {
+	byName := make(map[string]*Collection, len(d.Collections))
+	for _, c := range d.Collections {
+		byName[c.Name] = c
+	}
+	out := &Dataset{Label: d.Label + "-subset"}
+	for _, n := range names {
+		if c, ok := byName[n]; ok {
+			out.Collections = append(out.Collections, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+// Package ergraph provides the graph machinery of the entity-resolution
+// framework (Section II and IV-C of the paper): undirected decision graphs
+// whose edges assert "these two pages refer to the same person", transitive
+// closure via connected components (the paper's clustering of choice), and
+// correlation clustering as the alternative the paper experimented with.
+//
+// The true entity graph is a union of disjoint cliques (equivalence
+// classes); the decision graphs produced by similarity functions are not
+// transitive, so a clustering step reconciles them.
+package ergraph
+
+import "fmt"
+
+// Graph is an undirected simple graph over n vertices (documents of one
+// block), stored as adjacency sets.
+type Graph struct {
+	n   int
+	adj []map[int]struct{}
+}
+
+// NewGraph returns an edgeless graph on n vertices.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{n: n, adj: make([]map[int]struct{}, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return g.n }
+
+// AddEdge inserts the undirected edge (i, j). Self-loops and out-of-range
+// vertices are rejected with an error.
+func (g *Graph) AddEdge(i, j int) error {
+	if i == j {
+		return fmt.Errorf("ergraph: self-loop at %d", i)
+	}
+	if i < 0 || j < 0 || i >= g.n || j >= g.n {
+		return fmt.Errorf("ergraph: edge (%d,%d) out of range [0,%d)", i, j, g.n)
+	}
+	g.adj[i][j] = struct{}{}
+	g.adj[j][i] = struct{}{}
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge (i, j) if present.
+func (g *Graph) RemoveEdge(i, j int) {
+	if i < 0 || j < 0 || i >= g.n || j >= g.n {
+		return
+	}
+	delete(g.adj[i], j)
+	delete(g.adj[j], i)
+}
+
+// HasEdge reports whether (i, j) is an edge.
+func (g *Graph) HasEdge(i, j int) bool {
+	if i < 0 || j < 0 || i >= g.n || j >= g.n || i == j {
+		return false
+	}
+	_, ok := g.adj[i][j]
+	return ok
+}
+
+// Degree returns the degree of vertex i.
+func (g *Graph) Degree(i int) int {
+	if i < 0 || i >= g.n {
+		return 0
+	}
+	return len(g.adj[i])
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// Neighbors returns the neighbors of i in ascending order.
+func (g *Graph) Neighbors(i int) []int {
+	if i < 0 || i >= g.n {
+		return nil
+	}
+	out := make([]int, 0, len(g.adj[i]))
+	for j := range g.adj[i] {
+		out = append(out, j)
+	}
+	sortInts(out)
+	return out
+}
+
+// Clone returns an independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	for i, nbrs := range g.adj {
+		for j := range nbrs {
+			c.adj[i][j] = struct{}{}
+		}
+	}
+	return c
+}
+
+// ConnectedComponents labels each vertex with its component index; labels
+// are dense, assigned in order of the smallest vertex of each component.
+// This is the transitive-closure clustering of Algorithm 1.
+func (g *Graph) ConnectedComponents() []int {
+	labels := make([]int, g.n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := 0
+	stack := make([]int, 0, g.n)
+	for start := 0; start < g.n; start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		labels[start] = next
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for w := range g.adj[v] {
+				if labels[w] == -1 {
+					labels[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	return labels
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: neighbor lists are small and this avoids pulling in
+	// sort for a hot path.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package ergraph
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression, the standard structure behind transitive-closure clustering
+// at scale.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	sets   int
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	if n < 0 {
+		n = 0
+	}
+	uf := &UnionFind{parent: make([]int, n), rank: make([]int, n), sets: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y; it reports whether a merge happened.
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int) bool { return uf.Find(x) == uf.Find(y) }
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// Labels returns dense cluster labels, assigned in order of each set's
+// smallest member.
+func (uf *UnionFind) Labels() []int {
+	labels := make([]int, len(uf.parent))
+	repr := make(map[int]int)
+	next := 0
+	for i := range uf.parent {
+		r := uf.Find(i)
+		if _, ok := repr[r]; !ok {
+			repr[r] = next
+			next++
+		}
+		labels[i] = repr[r]
+	}
+	return labels
+}

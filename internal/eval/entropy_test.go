@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterEntropy(t *testing.T) {
+	if got := ClusterEntropy(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := ClusterEntropy([]int{1, 1, 1}); got != 0 {
+		t.Errorf("single cluster = %v, want 0", got)
+	}
+	// Two equal halves: H = ln 2.
+	got := ClusterEntropy([]int{0, 0, 1, 1})
+	if math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Errorf("two halves = %v, want ln2", got)
+	}
+	// Four singletons: H = ln 4.
+	got = ClusterEntropy([]int{0, 1, 2, 3})
+	if math.Abs(got-math.Log(4)) > 1e-12 {
+		t.Errorf("singletons = %v, want ln4", got)
+	}
+}
+
+func TestMutualInformation(t *testing.T) {
+	// Identical partitions: MI = H.
+	labels := []int{0, 0, 1, 1, 2}
+	mi, err := MutualInformation(labels, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mi-ClusterEntropy(labels)) > 1e-12 {
+		t.Errorf("MI(self) = %v, want H = %v", mi, ClusterEntropy(labels))
+	}
+	// Independent partitions: MI = 0.
+	pred := []int{0, 1, 0, 1}
+	truth := []int{0, 0, 1, 1}
+	mi, _ = MutualInformation(pred, truth)
+	if math.Abs(mi) > 1e-12 {
+		t.Errorf("MI(independent) = %v, want 0", mi)
+	}
+	if _, err := MutualInformation([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestNMI(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2}
+	renamed := []int{7, 7, 3, 3, 9}
+	nmi, err := NMI(renamed, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nmi-1) > 1e-12 {
+		t.Errorf("NMI identical partitions = %v, want 1", nmi)
+	}
+	// Independent: 0.
+	nmi, _ = NMI([]int{0, 1, 0, 1}, []int{0, 0, 1, 1})
+	if math.Abs(nmi) > 1e-12 {
+		t.Errorf("NMI independent = %v, want 0", nmi)
+	}
+	// Both trivial single-cluster partitions: identical → 1.
+	nmi, _ = NMI([]int{5, 5}, []int{3, 3})
+	if nmi != 1 {
+		t.Errorf("NMI trivial identical = %v, want 1", nmi)
+	}
+	// One trivial, one not → 0 (no information shared).
+	nmi, _ = NMI([]int{0, 0, 0}, []int{0, 1, 2})
+	if nmi != 0 {
+		t.Errorf("NMI trivial vs singletons = %v, want 0", nmi)
+	}
+}
+
+func TestVI(t *testing.T) {
+	labels := []int{0, 0, 1, 1}
+	vi, err := VI(labels, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vi) > 1e-12 {
+		t.Errorf("VI(self) = %v, want 0", vi)
+	}
+	// Independent halves: VI = H1 + H2 = 2 ln2.
+	vi, _ = VI([]int{0, 1, 0, 1}, []int{0, 0, 1, 1})
+	if math.Abs(vi-2*math.Log(2)) > 1e-12 {
+		t.Errorf("VI independent = %v, want 2ln2", vi)
+	}
+}
+
+func TestVIIsMetricProperties(t *testing.T) {
+	// Symmetry and identity over random partitions; triangle inequality on
+	// a sampled triple.
+	f := func(rawA, rawB, rawC []byte) bool {
+		n := len(rawA)
+		if len(rawB) < n {
+			n = len(rawB)
+		}
+		if len(rawC) < n {
+			n = len(rawC)
+		}
+		if n == 0 {
+			return true
+		}
+		a := randomLabels(rawA[:n], 4)
+		b := randomLabels(rawB[:n], 4)
+		c := randomLabels(rawC[:n], 4)
+		ab, err1 := VI(a, b)
+		ba, err2 := VI(b, a)
+		if err1 != nil || err2 != nil || math.Abs(ab-ba) > 1e-9 {
+			return false
+		}
+		aa, _ := VI(a, a)
+		if math.Abs(aa) > 1e-9 {
+			return false
+		}
+		ac, _ := VI(a, c)
+		cb, _ := VI(c, b)
+		return ab <= ac+cb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNMIBoundedProperty(t *testing.T) {
+	f := func(rawA, rawB []byte) bool {
+		n := len(rawA)
+		if len(rawB) < n {
+			n = len(rawB)
+		}
+		if n == 0 {
+			return true
+		}
+		nmi, err := NMI(randomLabels(rawA[:n], 5), randomLabels(rawB[:n], 5))
+		if err != nil {
+			return false
+		}
+		return nmi >= 0 && nmi <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamePartition(t *testing.T) {
+	if !samePartition([]int{0, 0, 1}, []int{5, 5, 9}) {
+		t.Error("renamed partitions should be equal")
+	}
+	if samePartition([]int{0, 0, 1}, []int{5, 9, 9}) {
+		t.Error("different partitions reported equal")
+	}
+	if samePartition([]int{0, 1}, []int{5, 5}) {
+		t.Error("merge not detected")
+	}
+}

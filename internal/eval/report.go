@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Aggregate averages per-collection results into dataset-level numbers, the
+// way the paper reports whole-dataset metrics (macro-average across names,
+// then across runs).
+func Aggregate(results []Result) Result {
+	if len(results) == 0 {
+		return Result{}
+	}
+	var out Result
+	for _, r := range results {
+		out.Fp += r.Fp
+		out.F += r.F
+		out.Rand += r.Rand
+	}
+	n := float64(len(results))
+	out.Fp /= n
+	out.F /= n
+	out.Rand /= n
+	return out
+}
+
+// Table accumulates named rows of named columns of float values and renders
+// them as a fixed-width text table — the mechanism the experiment harness
+// uses to print each of the paper's tables and figure series.
+type Table struct {
+	// Title labels the table ("Table II", "Figure 2", ...).
+	Title   string
+	columns []string
+	rows    []tableRow
+}
+
+type tableRow struct {
+	label string
+	cells map[string]float64
+}
+
+// NewTable creates a table with the given column order.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, columns: columns}
+}
+
+// AddRow appends a row; cells maps column name to value. Missing columns
+// render as blanks.
+func (t *Table) AddRow(label string, cells map[string]float64) {
+	copied := make(map[string]float64, len(cells))
+	for k, v := range cells {
+		copied[k] = v
+	}
+	t.rows = append(t.rows, tableRow{label: label, cells: copied})
+}
+
+// Columns returns the column order.
+func (t *Table) Columns() []string { return t.columns }
+
+// Get returns the cell value and whether it is present.
+func (t *Table) Get(rowLabel, column string) (float64, bool) {
+	for _, r := range t.rows {
+		if r.label == rowLabel {
+			v, ok := r.cells[column]
+			return v, ok
+		}
+	}
+	return 0, false
+}
+
+// RowLabels returns the row labels in insertion order.
+func (t *Table) RowLabels() []string {
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.label
+	}
+	return out
+}
+
+// String renders the table with 4-decimal cells.
+func (t *Table) String() string {
+	var b strings.Builder
+	labelWidth := len("row")
+	for _, r := range t.rows {
+		if len(r.label) > labelWidth {
+			labelWidth = len(r.label)
+		}
+	}
+	colWidth := 8
+	for _, c := range t.columns {
+		if len(c) > colWidth {
+			colWidth = len(c)
+		}
+	}
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-*s", labelWidth+2, "")
+	for _, c := range t.columns {
+		fmt.Fprintf(&b, "%*s", colWidth+2, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", labelWidth+2, r.label)
+		for _, c := range t.columns {
+			if v, ok := r.cells[c]; ok {
+				fmt.Fprintf(&b, "%*.4f", colWidth+2, v)
+			} else {
+				fmt.Fprintf(&b, "%*s", colWidth+2, "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ArgBest returns, per row, the column with the highest value — used to
+// check the Table III shape claim that different names are won by different
+// functions. Columns listed in exclude are skipped.
+func (t *Table) ArgBest(exclude ...string) map[string]string {
+	skip := make(map[string]bool, len(exclude))
+	for _, c := range exclude {
+		skip[c] = true
+	}
+	out := make(map[string]string, len(t.rows))
+	for _, r := range t.rows {
+		bestCol, bestVal := "", -1.0
+		cols := make([]string, 0, len(t.columns))
+		cols = append(cols, t.columns...)
+		sort.Strings(cols) // deterministic tie-breaking
+		for _, c := range cols {
+			if skip[c] {
+				continue
+			}
+			if v, ok := r.cells[c]; ok && v > bestVal {
+				bestCol, bestVal = c, v
+			}
+		}
+		out[r.label] = bestCol
+	}
+	return out
+}

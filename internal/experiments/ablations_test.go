@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func ablationTestCfg() Config {
+	return Config{Seed: 2010, Runs: 1, TrainFraction: 0.10, RegionK: 10}
+}
+
+func checkResults(t *testing.T, res []AblationResult, wantNames []string) {
+	t.Helper()
+	if len(res) != len(wantNames) {
+		t.Fatalf("results = %d, want %d", len(res), len(wantNames))
+	}
+	for i, r := range res {
+		if r.Name != wantNames[i] {
+			t.Errorf("result %d = %q, want %q", i, r.Name, wantNames[i])
+		}
+		for _, v := range []float64{r.Score.Fp, r.Score.F, r.Score.Rand} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s score out of range: %+v", r.Name, r.Score)
+			}
+		}
+	}
+}
+
+func TestAblationRegionScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-dataset experiment")
+	}
+	res, err := AblationRegionScheme(ablationTestCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, res, []string{
+		"threshold-only", "threshold+equal-bins", "threshold+kmeans", "all-criteria",
+	})
+	// The richest pool should not lose to the threshold-only pool by much.
+	if res[3].Score.Fp < res[0].Score.Fp-0.03 {
+		t.Errorf("all-criteria (%v) clearly below threshold-only (%v)",
+			res[3].Score.Fp, res[0].Score.Fp)
+	}
+}
+
+func TestAblationRegionK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-dataset experiment")
+	}
+	res, err := AblationRegionK(ablationTestCfg(), []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, res, []string{"k=5", "k=10"})
+}
+
+func TestAblationClusteringAndCombination(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-dataset experiment")
+	}
+	res, err := AblationClustering(ablationTestCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, res, []string{"transitive-closure", "correlation-clustering"})
+
+	res, err = AblationCombination(ablationTestCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, res, []string{"best-graph", "weighted-average", "majority-vote"})
+}
+
+func TestAblationTrainFraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-dataset experiment")
+	}
+	res, err := AblationTrainFraction(ablationTestCfg(), []float64{0.05, 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, res, []string{"train=5%", "train=20%"})
+	// More labels must not hurt much.
+	if res[1].Score.Fp < res[0].Score.Fp-0.05 {
+		t.Errorf("train=20%% (%v) clearly below train=5%% (%v)",
+			res[1].Score.Fp, res[0].Score.Fp)
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	s := RenderAblation("title", []AblationResult{{Name: "x"}})
+	if !strings.Contains(s, "title") || !strings.Contains(s, "x") {
+		t.Errorf("render = %q", s)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/simfn"
+	"repro/internal/stats"
+	"repro/internal/swoosh"
+)
+
+// BaselineComparison pits the paper's framework (C10) against the R-Swoosh
+// generic entity-resolution baseline (reference [7]) on the WWW'05 dataset.
+// R-Swoosh's match predicate thresholds are trained per block from the same
+// training sample the framework sees (term-cosine and concept-cosine
+// thresholds via the framework's threshold learner; two shared entity
+// mentions as the entity path), so the comparison is information-fair.
+func BaselineComparison(cfg Config) ([]AblationResult, error) {
+	pd, err := www05(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	framework, err := pd.averageStrategy(cfg, bestAnyCriterion(simfn.SubsetI10))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: framework: %w", err)
+	}
+
+	var perRun []eval.Result
+	for run := 0; run < cfg.Runs; run++ {
+		var perCol []eval.Result
+		for i, p := range pd.prepared {
+			a, err := p.Run(stats.SplitSeedN(cfg.Seed, run*1000+i))
+			if err != nil {
+				return nil, err
+			}
+			labels, err := rswooshResolve(p, a)
+			if err != nil {
+				return nil, err
+			}
+			score, err := eval.Evaluate(labels, pd.dataset.Collections[i].GroundTruth())
+			if err != nil {
+				return nil, err
+			}
+			perCol = append(perCol, score)
+		}
+		perRun = append(perRun, eval.Aggregate(perCol))
+	}
+	baseline := eval.Aggregate(perRun)
+
+	return []AblationResult{
+		{Name: "framework-C10", Score: framework},
+		{Name: "rswoosh-baseline", Score: baseline},
+	}, nil
+}
+
+// rswooshResolve runs R-Swoosh over a prepared block with thresholds
+// trained from the analysis' training sample.
+func rswooshResolve(p *core.Prepared, a *core.Analysis) ([]int, error) {
+	termTh := trainedThreshold(p, a, "F8")
+	conceptTh := trainedThreshold(p, a, "F1")
+	records := swoosh.FromBlock(p.Block)
+	resolved, err := swoosh.RSwoosh(records, swoosh.ThresholdMatch(termTh, conceptTh, 2))
+	if err != nil {
+		return nil, err
+	}
+	return swoosh.Labels(resolved, len(p.Block.Docs)), nil
+}
+
+// trainedThreshold learns a link threshold for one similarity function from
+// the analysis' training pairs.
+func trainedThreshold(p *core.Prepared, a *core.Analysis, funcID string) float64 {
+	m := p.Matrices[funcID]
+	if m == nil {
+		return 0.5
+	}
+	return core.LearnThreshold(a.Train.Values(m), a.Train.Links)
+}

@@ -1,0 +1,154 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) over the synthetic datasets: Figure 1 (per-region
+// accuracy of a similarity function), Figures 2 and 3 (per-function vs
+// combined performance on WWW'05 and WePS), Table II (threshold-only vs
+// accuracy-criterion vs weighted-average combinations) and Table III
+// (per-name Fp of every function). Both cmd/experiments and the benchmark
+// suite call into this package.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/simfn"
+	"repro/internal/stats"
+)
+
+// Config parameterizes an experiment run, mirroring the paper's setup.
+type Config struct {
+	// Seed drives dataset generation and training-sample draws.
+	Seed int64
+	// Runs is the number of independent training draws averaged (the
+	// paper repeats each experiment for 5 runs).
+	Runs int
+	// TrainFraction is the labeled fraction (the paper uses 10%).
+	TrainFraction float64
+	// RegionK is the number of accuracy-estimation regions.
+	RegionK int
+}
+
+// DefaultConfig is the paper's setup: 5 runs, 10% training, 10 regions.
+func DefaultConfig() Config {
+	return Config{Seed: 2010, Runs: 5, TrainFraction: 0.10, RegionK: 10}
+}
+
+// QuickConfig is a reduced setup for tests: fewer runs over the same data.
+func QuickConfig() Config {
+	return Config{Seed: 2010, Runs: 2, TrainFraction: 0.10, RegionK: 10}
+}
+
+func (c Config) options() core.Options {
+	opts := core.DefaultOptions()
+	opts.TrainFraction = c.TrainFraction
+	opts.RegionK = c.RegionK
+	return opts
+}
+
+// preparedDataset caches the expensive per-collection preparation so the
+// run loop only redraws training samples.
+type preparedDataset struct {
+	dataset  *corpus.Dataset
+	prepared []*core.Prepared
+}
+
+func prepareDataset(cfg Config, d *corpus.Dataset) (*preparedDataset, error) {
+	r, err := core.New(cfg.options())
+	if err != nil {
+		return nil, err
+	}
+	pd := &preparedDataset{dataset: d}
+	for _, col := range d.Collections {
+		p, err := r.Prepare(col)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: preparing %q: %w", col.Name, err)
+		}
+		pd.prepared = append(pd.prepared, p)
+	}
+	return pd, nil
+}
+
+// www05 generates and prepares the synthetic WWW'05 dataset.
+func www05(cfg Config) (*preparedDataset, error) {
+	d, err := corpus.WWW05Profile().Generate(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return prepareDataset(cfg, d)
+}
+
+// wepsACL generates the synthetic WePS dataset and keeps the 10 reported
+// ACL-style names.
+func wepsACL(cfg Config) (*preparedDataset, error) {
+	d, err := corpus.WePSProfile().Generate(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return prepareDataset(cfg, d.Subset(corpus.WePSACLNames))
+}
+
+// strategy evaluates one resolution strategy on one analysis.
+type strategy func(a *core.Analysis) (*core.Resolution, error)
+
+// averageStrategy runs a strategy over all collections and runs, returning
+// the macro-averaged metrics.
+func (pd *preparedDataset) averageStrategy(cfg Config, s strategy) (eval.Result, error) {
+	var perRun []eval.Result
+	for run := 0; run < cfg.Runs; run++ {
+		var perCol []eval.Result
+		for i, p := range pd.prepared {
+			a, err := p.Run(stats.SplitSeedN(cfg.Seed, run*1000+i))
+			if err != nil {
+				return eval.Result{}, err
+			}
+			res, err := s(a)
+			if err != nil {
+				return eval.Result{}, err
+			}
+			score, err := eval.Evaluate(res.Labels, pd.dataset.Collections[i].GroundTruth())
+			if err != nil {
+				return eval.Result{}, err
+			}
+			perCol = append(perCol, score)
+		}
+		perRun = append(perRun, eval.Aggregate(perCol))
+	}
+	return eval.Aggregate(perRun), nil
+}
+
+// Strategy constructors shared by Table II and the figures.
+
+func bestThreshold(ids []string) strategy {
+	return func(a *core.Analysis) (*core.Resolution, error) {
+		return a.BestOver(ids, core.ThresholdCriterion)
+	}
+}
+
+func bestAnyCriterion(ids []string) strategy {
+	return func(a *core.Analysis) (*core.Resolution, error) {
+		return a.BestOver(ids, core.AllCriteria...)
+	}
+}
+
+func weightedAverage(ids []string) strategy {
+	return func(a *core.Analysis) (*core.Resolution, error) {
+		return a.WeightedAverageOver(ids)
+	}
+}
+
+func singleFunction(id string) strategy {
+	return func(a *core.Analysis) (*core.Resolution, error) {
+		return a.SingleFunction(id, core.ThresholdCriterion)
+	}
+}
+
+func majorityVote() strategy {
+	return func(a *core.Analysis) (*core.Resolution, error) {
+		return a.MajorityVote()
+	}
+}
+
+// allFunctionIDs is the full Table I set.
+var allFunctionIDs = simfn.SubsetI10

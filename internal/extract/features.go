@@ -1,0 +1,131 @@
+package extract
+
+import (
+	"repro/internal/textsim"
+)
+
+// DocumentFeatures is the full feature bundle the similarity functions
+// (Table I) consume for one web page. It is produced once per document by a
+// FeatureExtractor as the preprocessing step of the pipeline.
+type DocumentFeatures struct {
+	// ConceptVector is the L2-normalized weighted concept vector (F1).
+	ConceptVector textsim.SparseVector
+	// Concepts is the unweighted top-concept set (F4).
+	Concepts []string
+	// Organizations are the canonical organization mentions (F5).
+	Organizations []string
+	// OtherPersons are person mentions excluding the query name itself (F6).
+	OtherPersons []string
+	// MostFrequentName is the most frequent person name on the page (F3).
+	MostFrequentName string
+	// ClosestName is the person mention most similar to the search keyword
+	// (F7); empty when the page mentions no person.
+	ClosestName string
+	// URL carries the parsed URL features (F2).
+	URL URLFeatures
+	// Locations are canonical location mentions (extension feature).
+	Locations []string
+}
+
+// FeatureExtractor bundles the NER and concept extractors and applies them
+// to documents. A nil field in Config selects the built-in default.
+type FeatureExtractor struct {
+	ner      *NER
+	concepts *ConceptExtractor
+	// topK bounds the unweighted concept set size for F4.
+	topK int
+}
+
+// NewFeatureExtractor returns an extractor using the given components; nil
+// components select the defaults built on the shared wordlists.
+func NewFeatureExtractor(ner *NER, concepts *ConceptExtractor) *FeatureExtractor {
+	if ner == nil {
+		ner = DefaultNER()
+	}
+	if concepts == nil {
+		concepts = DefaultConceptExtractor()
+	}
+	return &FeatureExtractor{ner: ner, concepts: concepts, topK: 10}
+}
+
+// Extract computes the full feature bundle for a page given its text, URL
+// and the ambiguous query name the collection was retrieved for.
+func (fe *FeatureExtractor) Extract(text, url, queryName string) DocumentFeatures {
+	var f DocumentFeatures
+	f.ConceptVector = fe.concepts.Extract(text)
+	f.Concepts = fe.concepts.TopConcepts(text, fe.topK)
+	f.Organizations = fe.ner.Organizations(text)
+	f.Locations = fe.ner.Locations(text)
+	f.URL = ParseURL(url)
+
+	persons := fe.ner.Persons(text) // most frequent first
+	if len(persons) > 0 {
+		f.MostFrequentName = persons[0]
+	}
+	f.ClosestName = closestName(persons, queryName)
+	f.OtherPersons = excludeQueryName(persons, queryName)
+	return f
+}
+
+// closestName returns the person mention with the highest name similarity
+// to the query keyword, the feature F7 compares across pages.
+func closestName(persons []string, queryName string) string {
+	best := ""
+	bestScore := -1.0
+	for _, p := range persons {
+		if s := textsim.NameSimilarity(p, queryName); s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// excludeQueryName filters out mentions that are the query name itself
+// (exact or one-token-containment matches), keeping genuine co-occurring
+// persons for F6.
+func excludeQueryName(persons []string, queryName string) []string {
+	var out []string
+	for _, p := range persons {
+		if textsim.NameSimilarity(p, queryName) >= 0.95 {
+			continue
+		}
+		if containsToken(p, queryName) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// containsToken reports whether any token of a equals any token of b, the
+// heuristic that drops "john smith" and bare "smith" mentions for query
+// "smith".
+func containsToken(a, b string) bool {
+	ta := tokenSet(a)
+	for _, t := range tokenSet(b) {
+		for _, s := range ta {
+			if s == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func tokenSet(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ' ' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, s[start:i])
+			start = -1
+		}
+	}
+	return out
+}

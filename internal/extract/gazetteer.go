@@ -1,0 +1,139 @@
+// Package extract implements the information-extraction substrate the
+// framework runs before computing similarities: dictionary-based named
+// entity recognition for persons, organizations and locations, weighted
+// Wikipedia-style concept extraction, and URL feature parsing. It plays the
+// role of the AlchemyAPI / GATE / OpenCalais / SemanticHacker services the
+// paper invoked; the paper itself characterizes the preprocessing as
+// "(dictionary-based) named entity recognition techniques".
+package extract
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Gazetteer is a dictionary of multi-word entries matched greedily (longest
+// match first) against token sequences. Matching is case-insensitive.
+type Gazetteer struct {
+	// entries maps the first token of each entry to the candidate token
+	// sequences starting with it, longest first.
+	entries map[string][][]string
+	size    int
+	maxLen  int
+}
+
+// NewGazetteer builds a gazetteer from dictionary entries. Each entry is a
+// (possibly multi-word) name; empty entries are ignored.
+func NewGazetteer(names []string) *Gazetteer {
+	g := &Gazetteer{entries: make(map[string][][]string)}
+	for _, name := range names {
+		tokens := strings.Fields(strings.ToLower(name))
+		if len(tokens) == 0 {
+			continue
+		}
+		g.entries[tokens[0]] = append(g.entries[tokens[0]], tokens)
+		g.size++
+		if len(tokens) > g.maxLen {
+			g.maxLen = len(tokens)
+		}
+	}
+	// Order candidates longest-first for greedy longest-match semantics.
+	for first, cands := range g.entries {
+		sortByLenDesc(cands)
+		g.entries[first] = cands
+	}
+	return g
+}
+
+// Size returns the number of dictionary entries.
+func (g *Gazetteer) Size() int { return g.size }
+
+// Match is one gazetteer hit in a token sequence.
+type Match struct {
+	// Canonical is the matched dictionary entry joined by single spaces,
+	// lower-cased.
+	Canonical string
+	// Start and End delimit the matched token span [Start, End).
+	Start, End int
+}
+
+// FindAll scans the token sequence and returns all non-overlapping matches,
+// greedily preferring longer matches at each position.
+func (g *Gazetteer) FindAll(tokens []string) []Match {
+	var matches []Match
+	lower := make([]string, len(tokens))
+	for i, t := range tokens {
+		lower[i] = strings.ToLower(t)
+	}
+	i := 0
+	for i < len(lower) {
+		cands, ok := g.entries[lower[i]]
+		if !ok {
+			i++
+			continue
+		}
+		matched := false
+		for _, cand := range cands {
+			if i+len(cand) > len(lower) {
+				continue
+			}
+			if equalSeq(lower[i:i+len(cand)], cand) {
+				matches = append(matches, Match{
+					Canonical: strings.Join(cand, " "),
+					Start:     i,
+					End:       i + len(cand),
+				})
+				i += len(cand)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			i++
+		}
+	}
+	return matches
+}
+
+// FindAllInText tokenizes text (without stemming or stopword removal, since
+// entity names may contain stopwords) and returns all matches.
+func (g *Gazetteer) FindAllInText(text string) []Match {
+	return g.FindAll(analysis.Tokenize(text))
+}
+
+// Contains reports whether the exact (case-insensitive) name is in the
+// dictionary.
+func (g *Gazetteer) Contains(name string) bool {
+	tokens := strings.Fields(strings.ToLower(name))
+	if len(tokens) == 0 {
+		return false
+	}
+	for _, cand := range g.entries[tokens[0]] {
+		if equalSeq(cand, tokens) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortByLenDesc(cands [][]string) {
+	// Insertion sort: candidate lists per first-token are tiny.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && len(cands[j]) > len(cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package index
+
+import (
+	"math"
+	"sort"
+)
+
+// BM25Params are the Okapi BM25 free parameters: K1 controls term-frequency
+// saturation, B controls document-length normalization.
+type BM25Params struct {
+	K1, B float64
+}
+
+// DefaultBM25 is the standard parameterization (k1 = 1.2, b = 0.75), the
+// values Lucene ships with.
+var DefaultBM25 = BM25Params{K1: 1.2, B: 0.75}
+
+// SearchBM25 scores all documents against the analyzed query with Okapi
+// BM25 and returns the top k hits in decreasing score order. Unlike the
+// TF-IDF cosine Search, BM25 scores are not normalized to [0, 1].
+func (ix *Index) SearchBM25(query string, k int, p BM25Params) []SearchHit {
+	if ix.Len() == 0 || k <= 0 {
+		return nil
+	}
+	if p.K1 <= 0 {
+		p = DefaultBM25
+	}
+	n := float64(ix.Len())
+	var totalLen float64
+	for _, l := range ix.docLens {
+		totalLen += float64(l)
+	}
+	avgLen := totalLen / n
+	if avgLen == 0 {
+		return nil
+	}
+
+	scores := make(map[int]float64)
+	for term, qf := range ix.analyzer.TermFreqs(query) {
+		plist := ix.postings[term]
+		if len(plist) == 0 {
+			continue
+		}
+		df := float64(len(plist))
+		// BM25+ style IDF floor: log(1 + (N - df + 0.5)/(df + 0.5)).
+		idf := math.Log(1 + (n-df+0.5)/(df+0.5))
+		for _, post := range plist {
+			tf := float64(post.Freq)
+			docLen := float64(ix.docLens[post.DocID])
+			denom := tf + p.K1*(1-p.B+p.B*docLen/avgLen)
+			scores[post.DocID] += float64(qf) * idf * tf * (p.K1 + 1) / denom
+		}
+	}
+
+	hits := make([]SearchHit, 0, len(scores))
+	for id, s := range scores {
+		if s > 0 {
+			hits = append(hits, SearchHit{DocID: id, Score: s})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].DocID < hits[j].DocID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}

@@ -1,0 +1,110 @@
+package index
+
+import (
+	"math"
+
+	"repro/internal/textsim"
+)
+
+// WeightingScheme selects how term weights are computed for document
+// vectors. The default, LogTFIDF, is Lucene's classic practical scoring
+// combination: (1 + log tf) · log(1 + N/df).
+type WeightingScheme int
+
+const (
+	// LogTFIDF weights terms by (1 + ln tf) · ln(1 + N/df).
+	LogTFIDF WeightingScheme = iota
+	// RawTFIDF weights terms by tf · ln(1 + N/df).
+	RawTFIDF
+	// Binary weights terms by 1 when present (IDF ignored); useful for
+	// set-style comparisons over the vocabulary.
+	Binary
+)
+
+// SetWeighting selects the weighting scheme used by DocVector and Search.
+// Calling it after vectors have been handed out only affects future calls.
+func (ix *Index) SetWeighting(s WeightingScheme) { ix.weighting = s }
+
+// weight computes the weight of a term occurring f times in a document,
+// under the index's current weighting scheme and corpus statistics.
+func (ix *Index) weight(term string, f int) float64 {
+	if f <= 0 {
+		return 0
+	}
+	df := ix.DocFreq(term)
+	if df == 0 {
+		return 0
+	}
+	n := float64(ix.Len())
+	idf := math.Log(1 + n/float64(df))
+	switch ix.weighting {
+	case RawTFIDF:
+		return float64(f) * idf
+	case Binary:
+		return 1
+	default: // LogTFIDF
+		return (1 + math.Log(float64(f))) * idf
+	}
+}
+
+// DocVector returns the TF-IDF weighted sparse term vector of document id.
+// The vector is rebuilt on each call from the index's postings; callers
+// that need repeated access should memoize (see VectorCache).
+func (ix *Index) DocVector(id int) textsim.SparseVector {
+	v := textsim.NewSparseVector()
+	if id < 0 || id >= ix.Len() {
+		return v
+	}
+	for term, plist := range ix.postings {
+		for _, p := range plist {
+			if p.DocID == id {
+				if w := ix.weight(term, p.Freq); w > 0 {
+					v[term] = w
+				}
+				break
+			}
+		}
+	}
+	return v
+}
+
+// VectorCache memoizes DocVector results for an index whose document set is
+// frozen. It is safe for concurrent use after Warm or sequential filling.
+type VectorCache struct {
+	ix      *Index
+	vectors []textsim.SparseVector
+	warm    bool
+}
+
+// NewVectorCache creates a cache over ix. The index must not gain documents
+// after the cache is created.
+func NewVectorCache(ix *Index) *VectorCache {
+	return &VectorCache{ix: ix, vectors: make([]textsim.SparseVector, ix.Len())}
+}
+
+// Warm eagerly builds every document vector. This converts the per-document
+// O(vocabulary) rebuild into a single O(postings) pass.
+func (c *VectorCache) Warm() {
+	for i := range c.vectors {
+		c.vectors[i] = textsim.NewSparseVector()
+	}
+	for term, plist := range c.ix.postings {
+		for _, p := range plist {
+			if w := c.ix.weight(term, p.Freq); w > 0 {
+				c.vectors[p.DocID][term] = w
+			}
+		}
+	}
+	c.warm = true
+}
+
+// Vector returns the (possibly cached) TF-IDF vector of document id.
+func (c *VectorCache) Vector(id int) textsim.SparseVector {
+	if id < 0 || id >= len(c.vectors) {
+		return textsim.NewSparseVector()
+	}
+	if !c.warm && c.vectors[id] == nil {
+		c.vectors[id] = c.ix.DocVector(id)
+	}
+	return c.vectors[id]
+}

@@ -1,0 +1,219 @@
+// Package regions implements the paper's region-based accuracy estimation
+// (Section IV-A): the similarity value space [0, 1] is partitioned into
+// regions — either equal-width sub-intervals or 1-D k-means clusters of the
+// observed training values — and for each region the "accuracy of link
+// existence" is estimated as the fraction of training pairs falling in the
+// region that are true links. Decisions can then consult the region
+// accuracy instead of (or in addition to) a single global threshold.
+package regions
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Partitioner assigns similarity values in [0, 1] to region indices.
+type Partitioner interface {
+	// Region returns the region index of v, in [0, NumRegions).
+	Region(v float64) int
+	// NumRegions returns the number of regions.
+	NumRegions() int
+	// Boundaries returns the region upper boundaries in increasing order;
+	// the last boundary is 1 (used to render Figure 1's dotted lines).
+	Boundaries() []float64
+}
+
+// EqualWidthBins partitions [0, 1] into k equal-width sub-intervals
+// [0, 1/k), [1/k, 2/k), …, [1−1/k, 1] — the paper's first region scheme.
+type EqualWidthBins struct {
+	k int
+}
+
+// NewEqualWidthBins returns a k-bin equal-width partitioner; k < 1 is
+// treated as 1.
+func NewEqualWidthBins(k int) *EqualWidthBins {
+	if k < 1 {
+		k = 1
+	}
+	return &EqualWidthBins{k: k}
+}
+
+// Region implements Partitioner.
+func (b *EqualWidthBins) Region(v float64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v >= 1 {
+		return b.k - 1
+	}
+	return int(v * float64(b.k))
+}
+
+// NumRegions implements Partitioner.
+func (b *EqualWidthBins) NumRegions() int { return b.k }
+
+// Boundaries implements Partitioner.
+func (b *EqualWidthBins) Boundaries() []float64 {
+	out := make([]float64, b.k)
+	for i := 1; i <= b.k; i++ {
+		out[i-1] = float64(i) / float64(b.k)
+	}
+	return out
+}
+
+// KMeans1D partitions by nearest cluster center, the centers fitted to the
+// observed training similarity values — the paper's second scheme, which
+// adapts region density to the (non-uniform) value distribution.
+type KMeans1D struct {
+	// Centers are the fitted cluster centers in increasing order.
+	Centers []float64
+	// bounds[i] is the midpoint between Centers[i] and Centers[i+1]; a
+	// value belongs to region i when it is below bounds[i].
+	bounds []float64
+}
+
+// FitKMeans1D clusters values into at most k regions with Lloyd's
+// algorithm, seeded by k-means++ draws from rng. Duplicate centers collapse,
+// so the fitted partitioner may have fewer than k regions when the data has
+// fewer than k distinct values. It returns an error for empty input or
+// k < 1.
+func FitKMeans1D(values []float64, k int, rng *rand.Rand) (*KMeans1D, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("regions: no values to cluster")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("regions: k = %d", k)
+	}
+	distinct := distinctSorted(values)
+	if k > len(distinct) {
+		k = len(distinct)
+	}
+
+	centers := seedPlusPlus(distinct, values, k, rng)
+	sort.Float64s(centers)
+
+	assign := make([]int, len(values))
+	const maxIter = 100
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		// Assignment step: nearest center (centers stay sorted).
+		for i, v := range values {
+			c := nearestCenter(centers, v)
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step.
+		sums := make([]float64, len(centers))
+		counts := make([]int, len(centers))
+		for i, v := range values {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / float64(counts[c])
+			}
+		}
+		sort.Float64s(centers)
+	}
+
+	// Collapse coincident centers.
+	centers = dedupeCenters(centers)
+	km := &KMeans1D{Centers: centers}
+	km.bounds = make([]float64, len(centers)-1)
+	for i := 0; i+1 < len(centers); i++ {
+		km.bounds[i] = (centers[i] + centers[i+1]) / 2
+	}
+	return km, nil
+}
+
+// Region implements Partitioner.
+func (km *KMeans1D) Region(v float64) int {
+	return sort.SearchFloat64s(km.bounds, v)
+}
+
+// NumRegions implements Partitioner.
+func (km *KMeans1D) NumRegions() int { return len(km.Centers) }
+
+// Boundaries implements Partitioner.
+func (km *KMeans1D) Boundaries() []float64 {
+	out := make([]float64, 0, len(km.Centers))
+	out = append(out, km.bounds...)
+	return append(out, 1)
+}
+
+func distinctSorted(values []float64) []float64 {
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// seedPlusPlus draws k initial centers with k-means++ weighting: the first
+// uniformly, subsequent ones proportional to squared distance from the
+// nearest chosen center.
+func seedPlusPlus(distinct, values []float64, k int, rng *rand.Rand) []float64 {
+	centers := make([]float64, 0, k)
+	centers = append(centers, values[rng.Intn(len(values))])
+	for len(centers) < k {
+		weights := make([]float64, len(distinct))
+		total := 0.0
+		for i, v := range distinct {
+			d := v - centers[nearestCenter(centers, v)]
+			weights[i] = d * d
+			total += weights[i]
+		}
+		if total == 0 {
+			break
+		}
+		r := rng.Float64() * total
+		chosen := len(distinct) - 1
+		for i, w := range weights {
+			r -= w
+			if r < 0 {
+				chosen = i
+				break
+			}
+		}
+		centers = append(centers, distinct[chosen])
+	}
+	return centers
+}
+
+// nearestCenter returns the index of the center closest to v; centers must
+// be sorted.
+func nearestCenter(centers []float64, v float64) int {
+	i := sort.SearchFloat64s(centers, v)
+	if i == 0 {
+		return 0
+	}
+	if i == len(centers) {
+		return len(centers) - 1
+	}
+	if v-centers[i-1] <= centers[i]-v {
+		return i - 1
+	}
+	return i
+}
+
+func dedupeCenters(centers []float64) []float64 {
+	out := centers[:0]
+	for i, c := range centers {
+		if i == 0 || c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

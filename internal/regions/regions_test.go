@@ -1,0 +1,244 @@
+package regions
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestEqualWidthBins(t *testing.T) {
+	b := NewEqualWidthBins(10)
+	if b.NumRegions() != 10 {
+		t.Fatalf("NumRegions = %d", b.NumRegions())
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.05, 0}, {0.1, 1}, {0.55, 5}, {0.99, 9}, {1.0, 9},
+		{-0.5, 0}, {1.5, 9},
+	}
+	for _, tc := range cases {
+		if got := b.Region(tc.v); got != tc.want {
+			t.Errorf("Region(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	bounds := b.Boundaries()
+	if len(bounds) != 10 || bounds[9] != 1 || math.Abs(bounds[0]-0.1) > 1e-12 {
+		t.Errorf("Boundaries = %v", bounds)
+	}
+}
+
+func TestEqualWidthBinsDegenerate(t *testing.T) {
+	b := NewEqualWidthBins(0)
+	if b.NumRegions() != 1 {
+		t.Errorf("k<1 should clamp to 1, got %d", b.NumRegions())
+	}
+	if b.Region(0.3) != 0 || b.Region(1) != 0 {
+		t.Error("single-bin region assignment broken")
+	}
+}
+
+func TestKMeans1DTwoClusters(t *testing.T) {
+	// Values concentrated near 0.1 and 0.9 must be split there.
+	values := []float64{0.05, 0.1, 0.12, 0.08, 0.88, 0.9, 0.95, 0.92}
+	km, err := FitKMeans1D(values, 2, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.NumRegions() != 2 {
+		t.Fatalf("regions = %d, want 2", km.NumRegions())
+	}
+	if km.Region(0.1) == km.Region(0.9) {
+		t.Error("clearly separated values in same region")
+	}
+	if km.Region(0.0) != 0 || km.Region(1.0) != 1 {
+		t.Error("extremes mis-assigned")
+	}
+	// Centers must be near the modes.
+	if math.Abs(km.Centers[0]-0.0875) > 0.05 || math.Abs(km.Centers[1]-0.9125) > 0.05 {
+		t.Errorf("centers = %v", km.Centers)
+	}
+}
+
+func TestKMeans1DCollapsesDuplicates(t *testing.T) {
+	values := []float64{0.5, 0.5, 0.5, 0.5}
+	km, err := FitKMeans1D(values, 5, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.NumRegions() != 1 {
+		t.Errorf("identical values should yield one region, got %d", km.NumRegions())
+	}
+}
+
+func TestKMeans1DErrors(t *testing.T) {
+	if _, err := FitKMeans1D(nil, 3, stats.NewRNG(1)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitKMeans1D([]float64{0.5}, 0, stats.NewRNG(1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestKMeans1DRegionsAreIntervalsProperty(t *testing.T) {
+	// For any fitted partitioner, region assignment must be monotone in v.
+	f := func(raw []float64, seed int64) bool {
+		values := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			values = append(values, math.Abs(v)-math.Floor(math.Abs(v))) // into [0,1)
+		}
+		if len(values) < 2 {
+			return true
+		}
+		km, err := FitKMeans1D(values, 4, stats.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		sorted := make([]float64, len(values))
+		copy(sorted, values)
+		sort.Float64s(sorted)
+		prev := 0
+		for _, v := range sorted {
+			r := km.Region(v)
+			if r < prev {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeans1DDeterministicWithSeed(t *testing.T) {
+	values := []float64{0.1, 0.2, 0.5, 0.6, 0.9, 0.3, 0.8, 0.05}
+	a, _ := FitKMeans1D(values, 3, stats.NewRNG(7))
+	b, _ := FitKMeans1D(values, 3, stats.NewRNG(7))
+	if len(a.Centers) != len(b.Centers) {
+		t.Fatal("non-deterministic cluster count")
+	}
+	for i := range a.Centers {
+		if a.Centers[i] != b.Centers[i] {
+			t.Fatal("non-deterministic centers")
+		}
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// Bin 0 ([0,0.5)): 1 of 4 is a link → 0.25.
+	// Bin 1 ([0.5,1]): 3 of 4 are links → 0.75.
+	p := NewEqualWidthBins(2)
+	values := []float64{0.1, 0.2, 0.3, 0.4, 0.6, 0.7, 0.8, 0.9}
+	links := []bool{true, false, false, false, true, true, true, false}
+	e, err := EstimateAccuracy(p, values, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw frequencies 0.25 and 0.75 smoothed towards the base rate 0.5
+	// with pseudo-count 2: (1 + 2·0.5)/(4+2) = 1/3 and (3 + 2·0.5)/(4+2) = 2/3.
+	if math.Abs(e.Accuracy[0]-1.0/3.0) > 1e-12 {
+		t.Errorf("region 0 accuracy = %v, want 1/3", e.Accuracy[0])
+	}
+	if math.Abs(e.Accuracy[1]-2.0/3.0) > 1e-12 {
+		t.Errorf("region 1 accuracy = %v, want 2/3", e.Accuracy[1])
+	}
+	if e.Support[0] != 4 || e.Support[1] != 4 {
+		t.Errorf("support = %v", e.Support)
+	}
+	if math.Abs(e.BaseRate-0.5) > 1e-12 {
+		t.Errorf("base rate = %v", e.BaseRate)
+	}
+	// Decisions follow region majority.
+	if e.Decide(0.2) {
+		t.Error("low region should not link")
+	}
+	if !e.Decide(0.8) {
+		t.Error("high region should link")
+	}
+	if math.Abs(e.LinkProbability(0.9)-2.0/3.0) > 1e-12 {
+		t.Errorf("LinkProbability = %v", e.LinkProbability(0.9))
+	}
+	if math.Abs(e.Variation()-1.0/3.0) > 1e-12 {
+		t.Errorf("Variation = %v, want 1/3", e.Variation())
+	}
+}
+
+func TestEstimateAccuracyEmptyRegionFallsBack(t *testing.T) {
+	p := NewEqualWidthBins(10)
+	// All samples in bin 0; other bins get the base rate.
+	values := []float64{0.01, 0.02, 0.03, 0.04}
+	links := []bool{true, true, false, false}
+	e, err := EstimateAccuracy(p, values, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Accuracy[5]-0.5) > 1e-12 {
+		t.Errorf("unsupported region accuracy = %v, want base rate 0.5", e.Accuracy[5])
+	}
+	if e.Variation() != 0 {
+		t.Errorf("single supported region: Variation = %v, want 0", e.Variation())
+	}
+}
+
+func TestEstimateAccuracyErrors(t *testing.T) {
+	p := NewEqualWidthBins(2)
+	if _, err := EstimateAccuracy(p, []float64{0.5}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := EstimateAccuracy(p, nil, nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestAccuracyEstimateWithKMeansPartition(t *testing.T) {
+	// Bimodal similarities: low mode mostly non-links, high mode mostly
+	// links — the structure Figure 1 visualizes.
+	rng := stats.NewRNG(99)
+	var values []float64
+	var links []bool
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			values = append(values, 0.1+0.2*rng.Float64())
+			links = append(links, rng.Float64() < 0.15)
+		} else {
+			values = append(values, 0.65+0.3*rng.Float64())
+			links = append(links, rng.Float64() < 0.85)
+		}
+	}
+	km, err := FitKMeans1D(values, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := EstimateAccuracy(km, values, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy in the lowest region must be below the highest region.
+	if e.Accuracy[0] >= e.Accuracy[e.Part.NumRegions()-1] {
+		t.Errorf("accuracy not increasing: %v", e.Accuracy)
+	}
+	// Variation should be large for this structured data.
+	if e.Variation() < 0.4 {
+		t.Errorf("Variation = %v, want >= 0.4", e.Variation())
+	}
+}
+
+func TestBoundariesLastIsOne(t *testing.T) {
+	km, err := FitKMeans1D([]float64{0.2, 0.4, 0.8}, 3, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := km.Boundaries()
+	if b[len(b)-1] != 1 {
+		t.Errorf("last boundary = %v, want 1", b[len(b)-1])
+	}
+	if len(b) != km.NumRegions() {
+		t.Errorf("boundaries length %d != regions %d", len(b), km.NumRegions())
+	}
+}

@@ -1,0 +1,107 @@
+package simfn
+
+import "fmt"
+
+// Matrix is a symmetric pairwise similarity matrix over a block, stored as
+// the strict upper triangle in row-major order. The diagonal is implicitly
+// 1 (a document is identical to itself).
+type Matrix struct {
+	n    int
+	vals []float64
+}
+
+// NewMatrix allocates an n×n symmetric matrix with zero off-diagonals.
+func NewMatrix(n int) *Matrix {
+	if n < 0 {
+		n = 0
+	}
+	return &Matrix{n: n, vals: make([]float64, n*(n-1)/2)}
+}
+
+// Len returns the matrix dimension (number of documents).
+func (m *Matrix) Len() int { return m.n }
+
+// Pairs returns the number of stored pairs n·(n−1)/2.
+func (m *Matrix) Pairs() int { return len(m.vals) }
+
+// idx maps (i, j), i < j, to the condensed index.
+func (m *Matrix) idx(i, j int) int {
+	// Row i starts after sum_{r<i} (n-1-r) entries.
+	return i*(2*m.n-i-1)/2 + (j - i - 1)
+}
+
+// At returns the similarity of documents i and j. At(i, i) is 1.
+func (m *Matrix) At(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return m.vals[m.idx(i, j)]
+}
+
+// Set stores the similarity of documents i and j (i ≠ j).
+func (m *Matrix) Set(i, j int, v float64) {
+	if i == j {
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	m.vals[m.idx(i, j)] = v
+}
+
+// Values returns the condensed upper triangle; the slice is shared with
+// the matrix and must not be modified.
+func (m *Matrix) Values() []float64 { return m.vals }
+
+// ComputeMatrix evaluates the similarity function on every pair of
+// documents in the block.
+func ComputeMatrix(b *Block, f Func) *Matrix {
+	m := NewMatrix(len(b.Docs))
+	for i := 0; i < len(b.Docs); i++ {
+		for j := i + 1; j < len(b.Docs); j++ {
+			m.Set(i, j, f.Compare(&b.Docs[i], &b.Docs[j]))
+		}
+	}
+	return m
+}
+
+// ComputeAll evaluates every function on the block and returns the
+// matrices keyed by function ID.
+func ComputeAll(b *Block, funcs []Func) map[string]*Matrix {
+	out := make(map[string]*Matrix, len(funcs))
+	for _, f := range funcs {
+		out[f.ID] = ComputeMatrix(b, f)
+	}
+	return out
+}
+
+// PairIndex enumerates the pairs (i, j), i < j, of an n-document block in
+// the same order as the condensed matrix storage; it is the canonical pair
+// ordering used by training-sample selection.
+func PairIndex(n int) [][2]int {
+	pairs := make([][2]int, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return pairs
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	if m.n > 12 {
+		return fmt.Sprintf("Matrix(%d×%d)", m.n, m.n)
+	}
+	s := ""
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			s += fmt.Sprintf("%5.2f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

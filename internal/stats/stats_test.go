@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 3},
+		{"simple", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-1, 1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -2, 7, 0}
+	if got, err := Min(xs); err != nil || got != -2 {
+		t.Errorf("Min = %v, %v, want -2, nil", got, err)
+	}
+	if got, err := Max(xs); err != nil || got != 7 {
+		t.Errorf("Max = %v, %v, want 7, nil", got, err)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	xs := []float64{1, 5, 5, 2}
+	if got := ArgMax(xs); got != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+	if got := ArgMin([]float64{3, 0, 0, 4}); got != 1 {
+		t.Errorf("ArgMin = %d, want 1", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %d, want -1", got)
+	}
+	if got := ArgMin(nil); got != -1 {
+		t.Errorf("ArgMin(nil) = %d, want -1", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	// Perfect positive correlation.
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Pearson perfect = %v, %v; want 1, nil", r, err)
+	}
+	// Perfect negative correlation.
+	ys2 := []float64{8, 6, 4, 2}
+	r, _ = Pearson(xs, ys2)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("Pearson negative = %v; want -1", r)
+	}
+	// Zero variance: defined as 0.
+	r, err = Pearson(xs, []float64{5, 5, 5, 5})
+	if err != nil || r != 0 {
+		t.Errorf("Pearson constant = %v, %v; want 0, nil", r, err)
+	}
+	if _, err := Pearson(xs, ys[:2]); err == nil {
+		t.Error("Pearson length mismatch: want error")
+	}
+	if _, err := Pearson(nil, nil); err != ErrEmpty {
+		t.Errorf("Pearson empty err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestQuantileMedian(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	med, err := Median(xs)
+	if err != nil || !almostEqual(med, 2.5, 1e-12) {
+		t.Errorf("Median = %v, %v; want 2.5", med, err)
+	}
+	q0, _ := Quantile(xs, 0)
+	q1, _ := Quantile(xs, 1)
+	if q0 != 1 || q1 != 4 {
+		t.Errorf("Quantile extremes = %v, %v; want 1, 4", q0, q1)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile out of range: want error")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("Quantile empty err = %v, want ErrEmpty", err)
+	}
+	single, _ := Quantile([]float64{7}, 0.3)
+	if single != 7 {
+		t.Errorf("Quantile singleton = %v, want 7", single)
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if got := Harmonic(0, 0); got != 0 {
+		t.Errorf("Harmonic(0,0) = %v, want 0", got)
+	}
+	if got := Harmonic(1, 1); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Harmonic(1,1) = %v, want 1", got)
+	}
+	if got := Harmonic(0.5, 1); !almostEqual(got, 2.0/3.0, 1e-12) {
+		t.Errorf("Harmonic(0.5,1) = %v, want 2/3", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(-1, 0, 1); got != 0 {
+		t.Errorf("Clamp(-1) = %v", got)
+	}
+	if got := Clamp(2, 0, 1); got != 1 {
+		t.Errorf("Clamp(2) = %v", got)
+	}
+	if got := Clamp(0.4, 0, 1); got != 0.4 {
+		t.Errorf("Clamp(0.4) = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.05, 0.15, 0.95, 1.0, -0.2, 1.3}
+	h := Histogram(xs, 10, 0, 1)
+	if h[0] != 2 { // 0.05 and clamped -0.2
+		t.Errorf("bucket 0 = %d, want 2", h[0])
+	}
+	if h[1] != 1 {
+		t.Errorf("bucket 1 = %d, want 1", h[1])
+	}
+	if h[9] != 3 { // 0.95, 1.0 (clamped into last), 1.3 (clamped)
+		t.Errorf("bucket 9 = %d, want 3", h[9])
+	}
+	if Histogram(xs, 0, 0, 1) != nil {
+		t.Error("Histogram with n=0 should be nil")
+	}
+	if Histogram(xs, 5, 1, 0) != nil {
+		t.Error("Histogram with hi<=lo should be nil")
+	}
+}
+
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := Histogram(raw, 7, 0, 1)
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		return total == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return Mean(raw) == 0
+		}
+		for _, x := range raw {
+			// Skip pathological floats whose sums overflow or are undefined.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		m := Mean(raw)
+		lo, _ := Min(raw)
+		hi, _ := Max(raw)
+		return m >= lo-1e-9*math.Abs(lo)-1e-9 && m <= hi+1e-9*math.Abs(hi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		return Variance(raw) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

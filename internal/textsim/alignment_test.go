@@ -1,0 +1,137 @@
+package textsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNeedlemanWunsch(t *testing.T) {
+	p := DefaultAlignment
+	if got := NeedlemanWunsch("abc", "abc", p); got != 3 {
+		t.Errorf("identical = %v, want 3", got)
+	}
+	if got := NeedlemanWunsch("", "abc", p); got != -3 {
+		t.Errorf("empty vs abc = %v, want -3 (three gaps)", got)
+	}
+	// One substitution: 2 matches + 1 mismatch = 1.
+	if got := NeedlemanWunsch("abc", "axc", p); got != 1 {
+		t.Errorf("one substitution = %v, want 1", got)
+	}
+	// GATTACA-style classic.
+	if got := NeedlemanWunsch("GATTACA", "GCATGCU", p); got != 0 {
+		t.Errorf("GATTACA/GCATGCU = %v, want 0", got)
+	}
+}
+
+func TestNeedlemanWunschSimilarity(t *testing.T) {
+	if got := NeedlemanWunschSimilarity("", ""); got != 1 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := NeedlemanWunschSimilarity("abc", "abc"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := NeedlemanWunschSimilarity("aaa", "zzz"); got != 0 {
+		t.Errorf("disjoint = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestSmithWaterman(t *testing.T) {
+	p := DefaultAlignment
+	// Common substring "issi" scores 4.
+	if got := SmithWaterman("mississippi", "kissing", p); got < 3 {
+		t.Errorf("local align = %v, want >= 3", got)
+	}
+	if got := SmithWaterman("abc", "xyz", p); got != 0 {
+		t.Errorf("no common = %v, want 0", got)
+	}
+	if got := SmithWaterman("", "abc", p); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+}
+
+func TestSmithWatermanSimilarity(t *testing.T) {
+	if got := SmithWatermanSimilarity("", ""); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+	if got := SmithWatermanSimilarity("", "abc"); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	// Substring containment scores 1.
+	if got := SmithWatermanSimilarity("smith", "john smith jr"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("containment = %v, want 1", got)
+	}
+}
+
+func TestAlignmentSymmetryAndBoundsProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		nw := NeedlemanWunschSimilarity(a, b)
+		sw := SmithWatermanSimilarity(a, b)
+		if nw < 0 || nw > 1 || sw < 0 || sw > 1 {
+			return false
+		}
+		return math.Abs(nw-NeedlemanWunschSimilarity(b, a)) < 1e-9 &&
+			math.Abs(sw-SmithWatermanSimilarity(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmithWatermanAtLeastNeedlemanProperty(t *testing.T) {
+	// Local alignment can only drop penalized prefixes/suffixes, so the
+	// raw SW score is never below the NW score.
+	f := func(a, b string) bool {
+		return SmithWaterman(a, b, DefaultAlignment) >= NeedlemanWunsch(a, b, DefaultAlignment)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftTFIDF(t *testing.T) {
+	sim := JaroWinkler
+	// Identical sequences score 1.
+	a := []string{"john", "smith"}
+	if got := SoftTFIDF(a, a, nil, sim, 0.9); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical = %v, want 1", got)
+	}
+	// Near-identical tokens still match above theta.
+	b := []string{"jon", "smith"}
+	got := SoftTFIDF(a, b, nil, sim, 0.8)
+	if got <= 0.8 || got > 1 {
+		t.Errorf("near tokens = %v, want in (0.8, 1]", got)
+	}
+	// With a high theta the fuzzy token no longer matches.
+	strict := SoftTFIDF(a, b, nil, sim, 0.99)
+	if strict >= got {
+		t.Errorf("stricter theta should lower the score: %v >= %v", strict, got)
+	}
+	// Weights bias towards informative tokens.
+	weights := map[string]float64{"smith": 3, "john": 0.1, "jon": 0.1}
+	weighted := SoftTFIDF(a, b, weights, sim, 0.8)
+	if weighted <= got {
+		t.Errorf("up-weighting the shared rare token should raise the score: %v <= %v", weighted, got)
+	}
+	// Degenerate cases.
+	if got := SoftTFIDF(nil, nil, nil, sim, 0.9); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+	if got := SoftTFIDF(a, nil, nil, sim, 0.9); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	zero := map[string]float64{"john": 0, "smith": 0}
+	if got := SoftTFIDF(a, a, zero, sim, 0.9); got != 0 {
+		t.Errorf("all-zero weights = %v", got)
+	}
+}
+
+func TestSoftTFIDFBoundedProperty(t *testing.T) {
+	f := func(rawA, rawB []string) bool {
+		v := SoftTFIDF(rawA, rawB, nil, JaroWinkler, 0.85)
+		return v >= 0 && v <= 1 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

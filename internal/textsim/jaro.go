@@ -1,0 +1,92 @@
+package textsim
+
+// Jaro returns the Jaro similarity of a and b in [0, 1]. Characters match
+// when equal and within half the longer length (minus one) of each other;
+// the score combines the match counts and the number of transpositions.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	matchDist := la
+	if lb > matchDist {
+		matchDist = lb
+	}
+	matchDist = matchDist/2 - 1
+	if matchDist < 0 {
+		matchDist = 0
+	}
+	aMatched := make([]bool, la)
+	bMatched := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - matchDist
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + matchDist + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if bMatched[j] || ra[i] != rb[j] {
+				continue
+			}
+			aMatched[i] = true
+			bMatched[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions: matched characters out of order.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatched[i] {
+			continue
+		}
+		for !bMatched[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity: Jaro boosted by a prefix
+// bonus of up to four common leading characters with scaling factor 0.1,
+// the standard parameters from the record-linkage literature.
+func JaroWinkler(a, b string) float64 {
+	return JaroWinklerParams(a, b, 0.1, 4)
+}
+
+// JaroWinklerParams is JaroWinkler with an explicit prefix scaling factor p
+// (commonly 0.1, must not exceed 0.25 to keep the result within [0, 1]) and
+// maximum prefix length maxPrefix.
+func JaroWinklerParams(a, b string, p float64, maxPrefix int) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 0.25 {
+		p = 0.25
+	}
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < maxPrefix && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*p*(1-j)
+}

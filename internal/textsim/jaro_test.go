@@ -1,0 +1,111 @@
+package textsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaroKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"a", "", 0},
+		{"", "a", 0},
+		{"abc", "abc", 1},
+		{"martha", "marhta", 0.944444},
+		{"dixon", "dicksonx", 0.766667},
+		{"jellyfish", "smellyfish", 0.896296},
+		{"abc", "xyz", 0},
+	}
+	for _, tc := range cases {
+		if got := Jaro(tc.a, tc.b); math.Abs(got-tc.want) > 1e-5 {
+			t.Errorf("Jaro(%q,%q) = %.6f, want %.6f", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.961111},
+		{"dixon", "dicksonx", 0.813333},
+		{"dwayne", "duane", 0.84},
+	}
+	for _, tc := range cases {
+		if got := JaroWinkler(tc.a, tc.b); math.Abs(got-tc.want) > 1e-5 {
+			t.Errorf("JaroWinkler(%q,%q) = %.6f, want %.6f", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaroSymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		return math.Abs(Jaro(a, b)-Jaro(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroBoundsProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s := Jaro(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerBoundsProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerIdentityProperty(t *testing.T) {
+	f := func(a string) bool { return JaroWinkler(a, a) == 1 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerNeverBelowJaro(t *testing.T) {
+	f := func(a, b string) bool {
+		return JaroWinkler(a, b) >= Jaro(a, b)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerParamsClamping(t *testing.T) {
+	// Scaling factor above 0.25 is clamped so the result stays within [0,1].
+	got := JaroWinklerParams("aaaa", "aaab", 5.0, 4)
+	if got < 0 || got > 1 {
+		t.Errorf("clamped params result %v out of [0,1]", got)
+	}
+	// Negative p behaves like p = 0 (plain Jaro).
+	if got := JaroWinklerParams("martha", "marhta", -1, 4); math.Abs(got-Jaro("martha", "marhta")) > 1e-12 {
+		t.Errorf("negative p should reduce to Jaro, got %v", got)
+	}
+	// maxPrefix = 0 also reduces to Jaro.
+	if got := JaroWinklerParams("martha", "marhta", 0.1, 0); math.Abs(got-Jaro("martha", "marhta")) > 1e-12 {
+		t.Errorf("maxPrefix=0 should reduce to Jaro, got %v", got)
+	}
+}
+
+func TestJaroNoMatches(t *testing.T) {
+	if got := Jaro("ab", "cd"); got != 0 {
+		t.Errorf("no matches should be 0, got %v", got)
+	}
+}

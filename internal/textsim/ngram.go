@@ -1,0 +1,186 @@
+package textsim
+
+import "math"
+
+// NGramProfile is a multiset of character n-grams with occurrence counts.
+type NGramProfile map[string]int
+
+// NGrams returns the profile of character n-grams of s for the given n.
+// The string is padded with n-1 leading and trailing '#' markers so that
+// prefixes and suffixes contribute distinguishable grams, the convention
+// used in approximate string matching. n must be >= 1; for n <= 0 an empty
+// profile is returned.
+func NGrams(s string, n int) NGramProfile {
+	profile := make(NGramProfile)
+	if n <= 0 {
+		return profile
+	}
+	runes := []rune(s)
+	if len(runes) == 0 {
+		return profile
+	}
+	if n == 1 {
+		for _, r := range runes {
+			profile[string(r)]++
+		}
+		return profile
+	}
+	pad := make([]rune, 0, len(runes)+2*(n-1))
+	for i := 0; i < n-1; i++ {
+		pad = append(pad, '#')
+	}
+	pad = append(pad, runes...)
+	for i := 0; i < n-1; i++ {
+		pad = append(pad, '#')
+	}
+	for i := 0; i+n <= len(pad); i++ {
+		profile[string(pad[i:i+n])]++
+	}
+	return profile
+}
+
+// JaccardNGram returns the Jaccard coefficient |A∩B| / |A∪B| over the n-gram
+// sets (counts ignored) of a and b. Two empty strings have similarity 1.
+func JaccardNGram(a, b string, n int) float64 {
+	pa, pb := NGrams(a, n), NGrams(b, n)
+	return SetJaccard(keys(pa), keys(pb))
+}
+
+// DiceNGram returns the Sørensen-Dice coefficient 2|A∩B| / (|A|+|B|) over
+// the n-gram sets of a and b.
+func DiceNGram(a, b string, n int) float64 {
+	pa, pb := NGrams(a, n), NGrams(b, n)
+	inter := setIntersectionSize(pa, pb)
+	if len(pa)+len(pb) == 0 {
+		return 1
+	}
+	return 2 * float64(inter) / float64(len(pa)+len(pb))
+}
+
+// OverlapNGram returns the overlap coefficient |A∩B| / min(|A|, |B|) over
+// the n-gram sets of a and b.
+func OverlapNGram(a, b string, n int) float64 {
+	pa, pb := NGrams(a, n), NGrams(b, n)
+	if len(pa) == 0 && len(pb) == 0 {
+		return 1
+	}
+	if len(pa) == 0 || len(pb) == 0 {
+		return 0
+	}
+	inter := setIntersectionSize(pa, pb)
+	m := len(pa)
+	if len(pb) < m {
+		m = len(pb)
+	}
+	return float64(inter) / float64(m)
+}
+
+// CosineNGram returns the cosine similarity of the n-gram count vectors of
+// a and b, taking multiplicities into account.
+func CosineNGram(a, b string, n int) float64 {
+	pa, pb := NGrams(a, n), NGrams(b, n)
+	if len(pa) == 0 && len(pb) == 0 {
+		return 1
+	}
+	if len(pa) == 0 || len(pb) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for g, ca := range pa {
+		na += float64(ca) * float64(ca)
+		if cb, ok := pb[g]; ok {
+			dot += float64(ca) * float64(cb)
+		}
+	}
+	for _, cb := range pb {
+		nb += float64(cb) * float64(cb)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// SetJaccard returns the Jaccard coefficient over two string slices treated
+// as sets. Two empty sets have similarity 1.
+func SetJaccard(a, b []string) float64 {
+	sa := make(map[string]struct{}, len(a))
+	for _, x := range a {
+		sa[x] = struct{}{}
+	}
+	sb := make(map[string]struct{}, len(b))
+	for _, x := range b {
+		sb[x] = struct{}{}
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for x := range sa {
+		if _, ok := sb[x]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}
+
+// SetOverlapCount returns |A∩B| over two string slices treated as sets. This
+// is the raw "number of overlapping X" measure used by similarity functions
+// F4, F5 and F6 before normalization.
+func SetOverlapCount(a, b []string) int {
+	sa := make(map[string]struct{}, len(a))
+	for _, x := range a {
+		sa[x] = struct{}{}
+	}
+	inter := 0
+	seen := make(map[string]struct{}, len(b))
+	for _, x := range b {
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		if _, ok := sa[x]; ok {
+			inter++
+		}
+	}
+	return inter
+}
+
+// NormalizedOverlap maps a raw overlap count into [0, 1] with the saturating
+// transform count/(count+half). half controls where the transform reaches
+// 0.5; the framework uses half=2 so that two shared entities already
+// constitute substantial evidence, matching the paper's observation that a
+// few shared organizations or co-mentioned persons strongly indicate
+// identity.
+func NormalizedOverlap(count int, half float64) float64 {
+	if count <= 0 {
+		return 0
+	}
+	if half <= 0 {
+		return 1
+	}
+	c := float64(count)
+	return c / (c + half)
+}
+
+func keys(p NGramProfile) []string {
+	out := make([]string, 0, len(p))
+	for k := range p {
+		out = append(out, k)
+	}
+	return out
+}
+
+func setIntersectionSize(a, b NGramProfile) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	inter := 0
+	for g := range a {
+		if _, ok := b[g]; ok {
+			inter++
+		}
+	}
+	return inter
+}

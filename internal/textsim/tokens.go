@@ -1,0 +1,106 @@
+package textsim
+
+import "strings"
+
+// StringSim is the signature of a pairwise string similarity returning a
+// value in [0, 1]. All comparators in this package satisfy it.
+type StringSim func(a, b string) float64
+
+// MongeElkan returns the Monge-Elkan similarity of two token sequences: for
+// each token of a it finds the best-matching token of b under the secondary
+// measure sim, and averages those maxima. The raw Monge-Elkan measure is
+// asymmetric; this function returns the symmetrized mean of both directions,
+// which is the form used in record-linkage practice.
+func MongeElkan(a, b []string, sim StringSim) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return (mongeElkanDirected(a, b, sim) + mongeElkanDirected(b, a, sim)) / 2
+}
+
+func mongeElkanDirected(a, b []string, sim StringSim) float64 {
+	var total float64
+	for _, ta := range a {
+		best := 0.0
+		for _, tb := range b {
+			if s := sim(ta, tb); s > best {
+				best = s
+				if best == 1 {
+					break
+				}
+			}
+		}
+		total += best
+	}
+	return total / float64(len(a))
+}
+
+// TokenJaccard returns the Jaccard coefficient over whitespace-delimited
+// lower-cased tokens of a and b.
+func TokenJaccard(a, b string) float64 {
+	return SetJaccard(simpleTokens(a), simpleTokens(b))
+}
+
+// TokenDice returns the Dice coefficient over whitespace-delimited
+// lower-cased token sets of a and b.
+func TokenDice(a, b string) float64 {
+	ta, tb := simpleTokens(a), simpleTokens(b)
+	sa := toSet(ta)
+	sb := toSet(tb)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	if len(sa)+len(sb) == 0 {
+		return 1
+	}
+	return 2 * float64(inter) / float64(len(sa)+len(sb))
+}
+
+// NameSimilarity is the composite person-name comparator used by the
+// framework's string-based similarity functions (F2's URL host comparison
+// uses raw strings; F3 and F7 compare names). It symmetrically combines
+// Jaro-Winkler on the whole string with Monge-Elkan over tokens using
+// Jaro-Winkler as the secondary measure, making it robust both to
+// character-level typos and to token reordering ("John R. Smith" vs
+// "Smith, John").
+func NameSimilarity(a, b string) float64 {
+	a = normalizeName(a)
+	b = normalizeName(b)
+	if a == b {
+		return 1
+	}
+	whole := JaroWinkler(a, b)
+	tokens := MongeElkan(simpleTokens(a), simpleTokens(b), JaroWinkler)
+	if tokens > whole {
+		return tokens
+	}
+	return whole
+}
+
+func normalizeName(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.ReplaceAll(s, ",", " ")
+	s = strings.ReplaceAll(s, ".", " ")
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func simpleTokens(s string) []string {
+	return strings.Fields(strings.ToLower(s))
+}
+
+func toSet(tokens []string) map[string]struct{} {
+	set := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		set[t] = struct{}{}
+	}
+	return set
+}

@@ -1,0 +1,358 @@
+// Package wordlists holds the built-in vocabularies shared by the
+// dictionary-based information extractors (internal/extract) and the
+// synthetic web-corpus generator (internal/corpus).
+//
+// The paper's preprocessing applies dictionary-based named entity
+// recognition; sharing one vocabulary between generation and extraction
+// reproduces the closed-world part of that setup, while the generator also
+// injects out-of-dictionary entities to model extraction misses.
+package wordlists
+
+// FirstNames are common given names used for person entities.
+var FirstNames = []string{
+	"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+	"linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "daniel",
+	"nancy", "matthew", "lisa", "anthony", "betty", "mark", "margaret",
+	"donald", "sandra", "steven", "ashley", "paul", "kimberly", "andrew",
+	"emily", "joshua", "donna", "kenneth", "michelle", "kevin", "dorothy",
+	"brian", "carol", "george", "amanda", "edward", "melissa", "ronald",
+	"deborah", "timothy", "stephanie", "jason", "rebecca", "jeffrey",
+	"sharon", "ryan", "laura", "jacob", "cynthia", "gary", "kathleen",
+	"nicholas", "amy", "eric", "angela", "jonathan", "shirley", "stephen",
+	"anna", "larry", "brenda", "justin", "pamela", "scott", "emma",
+	"zoltan", "karl", "surender", "pedro", "andras", "wei", "yuki", "ivan",
+}
+
+// Surnames are common family names; the ambiguous query names of the
+// synthetic datasets are drawn from this list.
+var Surnames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+	"adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "cohen", "hardt", "israel", "kaelbling", "voss",
+	"mulford", "cheyer", "mccallum", "pereira", "ng", "mark", "chen",
+	"kalashnikov", "mehrotra", "aberer", "miklos", "yerva", "bekkerman",
+}
+
+// Organizations are employer/affiliation entities appearing on web pages.
+var Organizations = []string{
+	"stanford university", "mit", "carnegie mellon university",
+	"university of california", "epfl", "eth zurich", "oxford university",
+	"cambridge university", "princeton university", "harvard university",
+	"cornell university", "university of washington", "georgia tech",
+	"university of toronto", "university of edinburgh", "tsinghua university",
+	"google", "microsoft", "ibm research", "yahoo research", "bell labs",
+	"xerox parc", "intel", "oracle", "sun microsystems", "hewlett packard",
+	"general electric", "boeing", "lockheed martin", "siemens", "philips",
+	"toyota", "ford motor company", "general motors", "exxon mobil",
+	"goldman sachs", "morgan stanley", "mckinsey", "deloitte", "accenture",
+	"world bank", "united nations", "red cross", "nasa", "darpa",
+	"national science foundation", "acm", "ieee", "mayo clinic",
+	"johns hopkins hospital", "cleveland clinic", "pfizer", "novartis",
+	"roche", "first baptist church", "city council", "state department",
+	"supreme court", "county school district", "art institute",
+	"symphony orchestra", "modern art museum", "little league association",
+	"rotary club", "chamber of commerce", "habitat for humanity",
+}
+
+// Locations are place entities appearing on web pages.
+var Locations = []string{
+	"new york", "san francisco", "los angeles", "chicago", "boston",
+	"seattle", "austin", "denver", "portland", "atlanta", "miami",
+	"philadelphia", "pittsburgh", "houston", "dallas", "phoenix",
+	"minneapolis", "detroit", "baltimore", "washington", "london", "paris",
+	"berlin", "munich", "zurich", "geneva", "lausanne", "vienna", "prague",
+	"budapest", "amsterdam", "brussels", "madrid", "barcelona", "rome",
+	"milan", "stockholm", "oslo", "helsinki", "copenhagen", "dublin",
+	"tokyo", "kyoto", "beijing", "shanghai", "singapore", "sydney",
+	"melbourne", "toronto", "vancouver", "montreal", "mexico city",
+	"buenos aires", "sao paulo", "mumbai", "bangalore", "delhi", "cairo",
+	"cape town", "nairobi", "tel aviv", "istanbul", "moscow", "warsaw",
+}
+
+// Domains are web hosts the generator assigns pages to; one per "community"
+// so that the URL feature carries identity signal for some personas.
+var Domains = []string{
+	"cs.stanford.edu", "mit.edu", "cmu.edu", "berkeley.edu", "epfl.ch",
+	"ethz.ch", "ox.ac.uk", "cam.ac.uk", "princeton.edu", "harvard.edu",
+	"cornell.edu", "washington.edu", "gatech.edu", "toronto.edu",
+	"research.google.com", "research.microsoft.com", "research.ibm.com",
+	"labs.yahoo.com", "linkedin.com", "facebook.com", "twitter.com",
+	"blogspot.com", "wordpress.com", "geocities.com", "tripod.com",
+	"nytimes.com", "washingtonpost.com", "bbc.co.uk", "cnn.com",
+	"reuters.com", "local-gazette.com", "smalltown-herald.com",
+	"church-community.org", "sports-league.org", "art-gallery.org",
+	"realestate-listings.com", "lawfirm-partners.com", "medical-center.org",
+	"county-gov.us", "city-hall.gov", "genealogy-archive.org",
+	"conference-site.org", "dblp.uni-trier.de", "arxiv.org",
+	"slideshare.net", "youtube.com", "flickr.com", "imdb.com",
+}
+
+// TopicNames labels the topical communities personas belong to; each topic
+// maps to a set of concepts and vocabulary in Concepts and TopicWords.
+var TopicNames = []string{
+	"machine-learning", "databases", "software-engineering", "physics",
+	"medicine", "law", "finance", "journalism", "sports", "music",
+	"visual-arts", "religion", "politics", "real-estate", "education",
+	"genealogy", "cooking", "travel", "military-history", "environment",
+}
+
+// TopicWords maps each topic to content vocabulary the generator samples
+// from and the TF-IDF functions pick up as signal.
+var TopicWords = map[string][]string{
+	"machine-learning": {
+		"learning", "classifier", "neural", "training", "model", "feature",
+		"kernel", "regression", "clustering", "supervised", "bayesian",
+		"inference", "gradient", "optimization", "dataset", "accuracy",
+		"algorithm", "prediction", "probabilistic", "reinforcement",
+	},
+	"databases": {
+		"database", "query", "transaction", "index", "schema", "relational",
+		"tuple", "join", "optimizer", "storage", "concurrency", "recovery",
+		"warehouse", "mining", "integration", "cleaning", "duplicate",
+		"record", "linkage", "resolution",
+	},
+	"software-engineering": {
+		"software", "compiler", "testing", "debugging", "architecture",
+		"module", "interface", "refactoring", "deployment", "version",
+		"repository", "agile", "requirement", "specification", "framework",
+		"library", "runtime", "performance", "scalability", "maintenance",
+	},
+	"physics": {
+		"quantum", "particle", "relativity", "photon", "electron", "energy",
+		"momentum", "entropy", "thermodynamics", "cosmology", "gravity",
+		"collider", "spectrum", "wavelength", "plasma", "superconductor",
+		"measurement", "symmetry", "field", "theory",
+	},
+	"medicine": {
+		"patient", "clinical", "diagnosis", "treatment", "surgery",
+		"therapy", "cardiology", "oncology", "pediatric", "hospital",
+		"medication", "symptom", "disease", "vaccine", "immunology",
+		"radiology", "prognosis", "trial", "dosage", "recovery",
+	},
+	"law": {
+		"attorney", "litigation", "contract", "plaintiff", "defendant",
+		"court", "appeal", "statute", "counsel", "verdict", "testimony",
+		"deposition", "patent", "copyright", "liability", "settlement",
+		"jurisdiction", "tribunal", "arbitration", "clause",
+	},
+	"finance": {
+		"investment", "portfolio", "equity", "dividend", "hedge", "asset",
+		"bond", "market", "trading", "merger", "acquisition", "valuation",
+		"earnings", "revenue", "audit", "capital", "interest", "liquidity",
+		"derivative", "brokerage",
+	},
+	"journalism": {
+		"report", "editor", "column", "headline", "interview", "coverage",
+		"press", "broadcast", "byline", "newsroom", "investigative",
+		"correspondent", "editorial", "scoop", "deadline", "feature",
+		"syndicate", "publication", "media", "story",
+	},
+	"sports": {
+		"season", "coach", "tournament", "championship", "league", "score",
+		"playoff", "roster", "stadium", "athlete", "training", "record",
+		"defense", "offense", "victory", "defeat", "referee", "draft",
+		"contract", "fans",
+	},
+	"music": {
+		"album", "concert", "guitar", "orchestra", "symphony", "melody",
+		"rhythm", "recording", "studio", "tour", "lyrics", "composer",
+		"conductor", "harmony", "jazz", "chorus", "soprano", "ensemble",
+		"acoustic", "performance",
+	},
+	"visual-arts": {
+		"painting", "gallery", "exhibition", "sculpture", "canvas",
+		"portrait", "landscape", "curator", "museum", "abstract",
+		"watercolor", "etching", "installation", "photography", "studio",
+		"brushwork", "palette", "commission", "collector", "retrospective",
+	},
+	"religion": {
+		"congregation", "ministry", "sermon", "parish", "worship", "faith",
+		"scripture", "pastor", "chapel", "mission", "prayer", "diocese",
+		"theology", "baptism", "fellowship", "deacon", "liturgy", "choir",
+		"pilgrimage", "charity",
+	},
+	"politics": {
+		"election", "campaign", "senate", "congress", "policy", "governor",
+		"legislation", "ballot", "candidate", "caucus", "diplomat",
+		"embassy", "treaty", "referendum", "constituency", "lobbying",
+		"administration", "cabinet", "incumbent", "coalition",
+	},
+	"real-estate": {
+		"property", "listing", "mortgage", "realtor", "appraisal", "zoning",
+		"tenant", "lease", "escrow", "foreclosure", "development",
+		"commercial", "residential", "acreage", "brokerage", "closing",
+		"inspection", "renovation", "equity", "neighborhood",
+	},
+	"education": {
+		"curriculum", "classroom", "teacher", "student", "lesson", "grade",
+		"principal", "tutoring", "literacy", "enrollment", "scholarship",
+		"graduation", "semester", "faculty", "kindergarten", "homework",
+		"assessment", "pedagogy", "district", "syllabus",
+	},
+	"genealogy": {
+		"ancestor", "descendant", "census", "marriage", "birth", "death",
+		"cemetery", "obituary", "lineage", "pedigree", "archive",
+		"immigration", "homestead", "baptismal", "registry", "surname",
+		"generation", "kinship", "estate", "will",
+	},
+	"cooking": {
+		"recipe", "ingredient", "kitchen", "baking", "roasted", "sauce",
+		"flavor", "cuisine", "chef", "restaurant", "menu", "dessert",
+		"appetizer", "grill", "simmer", "seasoning", "pastry", "vegetarian",
+		"organic", "delicious",
+	},
+	"travel": {
+		"itinerary", "destination", "hotel", "flight", "tourism", "resort",
+		"excursion", "passport", "adventure", "backpacking", "cruise",
+		"sightseeing", "landmark", "souvenir", "hostel", "airfare",
+		"vacation", "guidebook", "trek", "expedition",
+	},
+	"military-history": {
+		"regiment", "battalion", "campaign", "infantry", "veteran",
+		"armistice", "fortification", "siege", "cavalry", "garrison",
+		"artillery", "brigade", "memorial", "medal", "deployment",
+		"squadron", "trench", "armor", "reconnaissance", "treaty",
+	},
+	"environment": {
+		"conservation", "ecosystem", "wildlife", "habitat", "emission",
+		"renewable", "sustainability", "biodiversity", "wetland", "forest",
+		"pollution", "climate", "recycling", "watershed", "species",
+		"restoration", "drought", "erosion", "solar", "carbon",
+	},
+}
+
+// Concepts maps each topic to Wikipedia-style concept labels; the concept
+// extractor recognizes these and F1/F4 compare pages by them.
+var Concepts = map[string][]string{
+	"machine-learning": {
+		"Machine learning", "Artificial intelligence", "Neural network",
+		"Statistical classification", "Pattern recognition",
+		"Data mining", "Support vector machine", "Deep learning",
+	},
+	"databases": {
+		"Database", "SQL", "Data integration", "Entity resolution",
+		"Record linkage", "Data warehouse", "Query optimization",
+		"Information retrieval",
+	},
+	"software-engineering": {
+		"Software engineering", "Compiler", "Software testing",
+		"Version control", "Agile software development",
+		"Software architecture", "Programming language", "Open source",
+	},
+	"physics": {
+		"Quantum mechanics", "Particle physics", "General relativity",
+		"Thermodynamics", "Cosmology", "String theory",
+		"Condensed matter physics", "Astrophysics",
+	},
+	"medicine": {
+		"Medicine", "Cardiology", "Oncology", "Surgery", "Clinical trial",
+		"Immunology", "Pediatrics", "Public health",
+	},
+	"law": {
+		"Law", "Contract law", "Intellectual property", "Litigation",
+		"Constitutional law", "Criminal law", "Corporate law", "Tort",
+	},
+	"finance": {
+		"Finance", "Investment banking", "Stock market", "Hedge fund",
+		"Private equity", "Corporate finance", "Risk management",
+		"Financial regulation",
+	},
+	"journalism": {
+		"Journalism", "Newspaper", "Broadcast journalism",
+		"Investigative journalism", "Mass media", "Editorial",
+		"Freedom of the press", "News agency",
+	},
+	"sports": {
+		"Sport", "Baseball", "Basketball", "American football", "Soccer",
+		"Olympic Games", "Athletics", "Coaching",
+	},
+	"music": {
+		"Music", "Classical music", "Jazz", "Rock music", "Opera",
+		"Music theory", "Orchestra", "Songwriter",
+	},
+	"visual-arts": {
+		"Visual arts", "Painting", "Sculpture", "Photography",
+		"Modern art", "Art museum", "Contemporary art", "Printmaking",
+	},
+	"religion": {
+		"Religion", "Christianity", "Theology", "Church", "Ministry",
+		"Buddhism", "Interfaith dialogue", "Religious education",
+	},
+	"politics": {
+		"Politics", "Election", "Legislature", "Political party",
+		"Public policy", "Diplomacy", "Government", "Democracy",
+	},
+	"real-estate": {
+		"Real estate", "Mortgage", "Property management", "Urban planning",
+		"Construction", "Housing market", "Land development",
+		"Commercial property",
+	},
+	"education": {
+		"Education", "Primary education", "Secondary education",
+		"Higher education", "Curriculum", "Educational technology",
+		"Teacher", "School district",
+	},
+	"genealogy": {
+		"Genealogy", "Family history", "Census", "Vital record",
+		"Immigration", "Heraldry", "Archive", "Ancestry",
+	},
+	"cooking": {
+		"Cooking", "Cuisine", "Chef", "Restaurant", "Baking",
+		"Food critic", "Culinary arts", "Gastronomy",
+	},
+	"travel": {
+		"Travel", "Tourism", "Hotel", "Airline", "Adventure travel",
+		"Ecotourism", "Travel writing", "Cruise ship",
+	},
+	"military-history": {
+		"Military history", "World War II", "Infantry", "Navy",
+		"Air force", "Veteran", "Military strategy", "War memorial",
+	},
+	"environment": {
+		"Environmentalism", "Climate change", "Conservation biology",
+		"Renewable energy", "Ecology", "Sustainability",
+		"Wildlife conservation", "Environmental policy",
+	},
+}
+
+// BoilerplateWords are content-bearing navigation/chrome vocabulary used to
+// build per-site page templates. Pages generated from the same template
+// share large identical text blocks, so their TF-IDF similarity is very
+// high even when they are about different persons — the "deceptive
+// high-similarity band" that makes per-region accuracy estimation beat any
+// single threshold (template/mirror pages are ubiquitous in web crawls).
+var BoilerplateWords = []string{
+	"homepage", "gallery", "archive", "newsletter", "sponsors", "events",
+	"calendar", "directory", "listings", "profiles", "members", "login",
+	"register", "password", "settings", "feedback", "guestbook", "webring",
+	"bookmark", "sitemap", "copyright", "disclaimer", "privacy", "terms",
+	"conditions", "advertising", "banner", "announcements", "bulletin",
+	"classifieds", "forum", "downloads", "resources", "links", "photos",
+	"webcam", "chat", "polls", "survey", "donate", "volunteer",
+}
+
+// FillerSentences are generic web-page boilerplate carrying no identity
+// signal; the generator mixes them in to dilute topical words.
+var FillerSentences = []string{
+	"Welcome to this page.",
+	"Please find more information below.",
+	"Last updated recently by the site administrator.",
+	"Click the links in the navigation bar to continue browsing.",
+	"All rights reserved by the respective owners.",
+	"This site is best viewed in any modern browser.",
+	"Contact the webmaster for questions regarding this site.",
+	"Thank you for visiting and come back soon.",
+	"See the archive section for older entries.",
+	"Subscribe to the newsletter for regular updates.",
+	"The opinions expressed here are personal views only.",
+	"Use the search box to find specific items on this site.",
+	"This material may not be reproduced without permission.",
+	"Details are subject to change without prior notice.",
+	"A printable version of this page is available.",
+}
