@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/corpus"
 	"repro/internal/ergraph"
@@ -59,6 +62,62 @@ func (r *Resolver) Prepare(col *corpus.Collection) (*Prepared, error) {
 		Matrices: simfn.ComputeAll(block, r.funcs),
 		resolver: r,
 	}, nil
+}
+
+// PrepareAll prepares independent collections concurrently on a bounded
+// worker pool (GOMAXPROCS) and returns the results in input order. Blocks
+// are independent by construction — the paper's blocking scheme computes
+// similarities only within a block — so per-name preparation (feature
+// extraction, TF-IDF, all similarity matrices) parallelizes without
+// coordination. The result slice is deterministic: out[i] always
+// corresponds to cols[i], and each Prepared is identical to what a serial
+// r.Prepare(cols[i]) would build.
+func (r *Resolver) PrepareAll(cols []*corpus.Collection) ([]*Prepared, error) {
+	out := make([]*Prepared, len(cols))
+	errs := make([]error, len(cols))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cols) {
+		workers = len(cols)
+	}
+	if workers <= 1 {
+		for i, col := range cols {
+			p, err := r.Prepare(col)
+			if err != nil {
+				return nil, fmt.Errorf("core: preparing %q: %w", col.Name, err)
+			}
+			out[i] = p
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= len(cols) {
+					return
+				}
+				out[i], errs[i] = r.Prepare(cols[i])
+				if errs[i] != nil {
+					// Stop claiming further collections; the error is
+					// reported to the caller, so finishing the rest of
+					// the dataset would be wasted work.
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: preparing %q: %w", cols[i].Name, err)
+		}
+	}
+	return out, nil
 }
 
 // Analysis is the per-run state of Algorithm 1: a training sample and the

@@ -59,15 +59,13 @@ func prepareDataset(cfg Config, d *corpus.Dataset) (*preparedDataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	pd := &preparedDataset{dataset: d}
-	for _, col := range d.Collections {
-		p, err := r.Prepare(col)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: preparing %q: %w", col.Name, err)
-		}
-		pd.prepared = append(pd.prepared, p)
+	// Per-name blocks are independent; prepare them concurrently so the
+	// Figure 2/3 and Table II/III drivers saturate the machine.
+	prepared, err := r.PrepareAll(d.Collections)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return pd, nil
+	return &preparedDataset{dataset: d, prepared: prepared}, nil
 }
 
 // www05 generates and prepares the synthetic WWW'05 dataset.

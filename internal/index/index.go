@@ -123,9 +123,14 @@ func (ix *Index) Search(query string, k int) []SearchHit {
 			scores[p.DocID] += qw * dv
 		}
 	}
+	if len(scores) == 0 {
+		return nil
+	}
+	norms := ix.docNorms()
+	qn := qv.Norm()
 	hits := make([]SearchHit, 0, len(scores))
 	for id, s := range scores {
-		norm := ix.DocVector(id).Norm() * qv.Norm()
+		norm := norms[id] * qn
 		if norm > 0 && s > 0 {
 			hits = append(hits, SearchHit{DocID: id, Score: s / norm})
 		}

@@ -48,8 +48,9 @@ func (ix *Index) weight(term string, f int) float64 {
 }
 
 // DocVector returns the TF-IDF weighted sparse term vector of document id.
-// The vector is rebuilt on each call from the index's postings; callers
-// that need repeated access should memoize (see VectorCache).
+// The vector is rebuilt on each call by scanning every postings list;
+// callers that need more than one document's vector should use AllVectors
+// (one pass for the whole index) or a VectorCache instead.
 func (ix *Index) DocVector(id int) textsim.SparseVector {
 	v := textsim.NewSparseVector()
 	if id < 0 || id >= ix.Len() {
@@ -68,6 +69,42 @@ func (ix *Index) DocVector(id int) textsim.SparseVector {
 	return v
 }
 
+// AllVectors materializes the TF-IDF vector of every document in a single
+// pass over the postings lists — O(total postings) for the whole index,
+// where building the vectors one DocVector call at a time is O(documents ×
+// postings). This is the bulk path behind VectorCache.Warm and block
+// preparation.
+func (ix *Index) AllVectors() []textsim.SparseVector {
+	out := make([]textsim.SparseVector, ix.Len())
+	for i := range out {
+		out[i] = textsim.NewSparseVector()
+	}
+	for term, plist := range ix.postings {
+		for _, p := range plist {
+			if w := ix.weight(term, p.Freq); w > 0 {
+				out[p.DocID][term] = w
+			}
+		}
+	}
+	return out
+}
+
+// docNorms returns the L2 norm of every document vector in one postings
+// pass, without materializing the vectors.
+func (ix *Index) docNorms() []float64 {
+	norms := make([]float64, ix.Len())
+	for term, plist := range ix.postings {
+		for _, p := range plist {
+			w := ix.weight(term, p.Freq)
+			norms[p.DocID] += w * w
+		}
+	}
+	for i, s := range norms {
+		norms[i] = math.Sqrt(s)
+	}
+	return norms
+}
+
 // VectorCache memoizes DocVector results for an index whose document set is
 // frozen. It is safe for concurrent use after Warm or sequential filling.
 type VectorCache struct {
@@ -82,19 +119,9 @@ func NewVectorCache(ix *Index) *VectorCache {
 	return &VectorCache{ix: ix, vectors: make([]textsim.SparseVector, ix.Len())}
 }
 
-// Warm eagerly builds every document vector. This converts the per-document
-// O(vocabulary) rebuild into a single O(postings) pass.
+// Warm eagerly builds every document vector from a single AllVectors pass.
 func (c *VectorCache) Warm() {
-	for i := range c.vectors {
-		c.vectors[i] = textsim.NewSparseVector()
-	}
-	for term, plist := range c.ix.postings {
-		for _, p := range plist {
-			if w := c.ix.weight(term, p.Freq); w > 0 {
-				c.vectors[p.DocID][term] = w
-			}
-		}
-	}
+	c.vectors = c.ix.AllVectors()
 	c.warm = true
 }
 

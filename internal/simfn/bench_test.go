@@ -1,0 +1,51 @@
+package simfn
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// benchComputeAll measures full ten-function matrix computation on a
+// ~100-doc block (the size of a WWW'05 collection), reporting pairs/sec so
+// speedups are directly visible in bench output.
+func benchComputeAll(b *testing.B, compute func(*Block, []Func) map[string]*Matrix) {
+	blk := parallelTestBlock(b, 100)
+	funcs := Registry()
+	n := len(blk.Docs)
+	pairsPerOp := float64(len(funcs) * n * (n - 1) / 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compute(blk, funcs)
+	}
+	b.ReportMetric(pairsPerOp*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+// BenchmarkComputeAll_Serial is the single-goroutine reference.
+func BenchmarkComputeAll_Serial(b *testing.B) {
+	benchComputeAll(b, ComputeAllSerial)
+}
+
+// BenchmarkComputeAll_Parallel is the worker-pool path used by the
+// pipeline; compare pairs/s against BenchmarkComputeAll_Serial.
+func BenchmarkComputeAll_Parallel(b *testing.B) {
+	benchComputeAll(b, ComputeAll)
+}
+
+// BenchmarkPrepareBlock measures block preparation (feature extraction,
+// TF-IDF materialization, packing) on the same 100-doc collection.
+func BenchmarkPrepareBlock(b *testing.B) {
+	col, err := corpus.GenerateCollection(corpus.CollectionConfig{
+		Name: "parallel", NumDocs: 100, NumPersonas: 5,
+		Noise: 0.5, MissingInfo: 0.25, Spurious: 0.3, Template: 0.25, Seed: 77,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrepareBlock(col, nil)
+	}
+}

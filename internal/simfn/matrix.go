@@ -1,6 +1,12 @@
 package simfn
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
 
 // Matrix is a symmetric pairwise similarity matrix over a block, stored as
 // the strict upper triangle in row-major order. The diagonal is implicitly
@@ -56,26 +62,141 @@ func (m *Matrix) Set(i, j int, v float64) {
 // the matrix and must not be modified.
 func (m *Matrix) Values() []float64 { return m.vals }
 
+// parallelMinPairs is the total pair count below which the worker pool is
+// not worth its startup cost and computation stays on the calling
+// goroutine. Parallel and serial paths produce bit-identical matrices, so
+// the cutoff is a pure performance knob.
+const parallelMinPairs = 2048
+
 // ComputeMatrix evaluates the similarity function on every pair of
-// documents in the block.
+// documents in the block, using all available cores for large blocks. The
+// result is bit-identical to ComputeMatrixSerial: every cell is a pure
+// function of its document pair and is written exactly once, by exactly
+// one worker, so scheduling order cannot affect the values.
 func ComputeMatrix(b *Block, f Func) *Matrix {
+	return computeMatrices(b, []Func{f})[0]
+}
+
+// ComputeMatrixSerial is the single-goroutine reference implementation of
+// ComputeMatrix, kept for determinism tests and benchmark baselines.
+func ComputeMatrixSerial(b *Block, f Func) *Matrix {
 	m := NewMatrix(len(b.Docs))
-	for i := 0; i < len(b.Docs); i++ {
-		for j := i + 1; j < len(b.Docs); j++ {
-			m.Set(i, j, f.Compare(&b.Docs[i], &b.Docs[j]))
-		}
+	for i := 0; i < m.n-1; i++ {
+		fillRow(b, f, m, i)
 	}
 	return m
 }
 
 // ComputeAll evaluates every function on the block and returns the
-// matrices keyed by function ID.
+// matrices keyed by function ID. All (function, row) units are computed by
+// one bounded worker pool, so a single call saturates the machine even
+// when individual matrices are small. Output is bit-identical to
+// ComputeAllSerial.
 func ComputeAll(b *Block, funcs []Func) map[string]*Matrix {
+	ms := computeMatrices(b, funcs)
 	out := make(map[string]*Matrix, len(funcs))
-	for _, f := range funcs {
-		out[f.ID] = ComputeMatrix(b, f)
+	for i, f := range funcs {
+		out[f.ID] = ms[i]
 	}
 	return out
+}
+
+// ComputeAllSerial is the single-goroutine reference implementation of
+// ComputeAll.
+func ComputeAllSerial(b *Block, funcs []Func) map[string]*Matrix {
+	out := make(map[string]*Matrix, len(funcs))
+	for _, f := range funcs {
+		out[f.ID] = ComputeMatrixSerial(b, f)
+	}
+	return out
+}
+
+// extraWorkerSlots bounds the total number of *extra* worker goroutines
+// across all concurrent matrix computations in the process, so nested
+// parallelism (PrepareAll over blocks × ComputeAll within a block) adds up
+// linearly instead of multiplying into GOMAXPROCS² runnable CPU-bound
+// goroutines. The calling goroutine always computes, so every call makes
+// progress at least at serial speed even when no slot is free. The floor
+// of 3 extra slots keeps the concurrent paths exercised (and race-checked)
+// on single-core machines.
+var extraWorkerSlots = sync.OnceValue(func() chan struct{} {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 3 {
+		n = 3
+	}
+	return make(chan struct{}, n)
+})
+
+// computeMatrices fills one matrix per function over a shared worker pool.
+// The unit of work is one matrix row: workers claim rows from an atomic
+// counter (dynamic load balancing — early rows of the condensed triangle
+// are longest) and write into disjoint sub-slices of the matrices' backing
+// arrays, so no synchronization of the values themselves is needed.
+func computeMatrices(b *Block, funcs []Func) []*Matrix {
+	n := len(b.Docs)
+	ms := make([]*Matrix, len(funcs))
+	for i := range funcs {
+		ms[i] = NewMatrix(n)
+	}
+	if n < 2 || len(funcs) == 0 {
+		return ms
+	}
+
+	// Tasks are (function, row) pairs flattened as fi*(n-1)+row; rows
+	// beyond n-2 have no upper-triangle entries and are excluded by the
+	// bound.
+	rowsPerFunc := n - 1
+	totalTasks := int64(len(funcs) * rowsPerFunc)
+	var next atomic.Int64
+	run := func() {
+		for {
+			t := next.Add(1) - 1
+			if t >= totalTasks {
+				return
+			}
+			fi, row := int(t)/rowsPerFunc, int(t)%rowsPerFunc
+			fillRow(b, funcs[fi], ms[fi], row)
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	totalPairs := len(funcs) * n * (n - 1) / 2
+	if workers > 1 && totalPairs >= parallelMinPairs {
+		slots := extraWorkerSlots()
+		var wg sync.WaitGroup
+	spawn:
+		for w := 0; w < workers-1 && int64(w) < totalTasks-1; w++ {
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer func() {
+						<-slots
+						wg.Done()
+					}()
+					run()
+				}()
+			default:
+				// Every slot is busy in another computation; this
+				// call proceeds on the calling goroutine alone.
+				break spawn
+			}
+		}
+		defer wg.Wait()
+	}
+	run()
+	return ms
+}
+
+// fillRow computes row i of the condensed upper triangle of m: the cells
+// (i, i+1) … (i, n−1), a contiguous slice of the backing array.
+func fillRow(b *Block, f Func, m *Matrix, i int) {
+	base := m.idx(i, i+1)
+	row := m.vals[base : base+m.n-1-i]
+	di := &b.Docs[i]
+	for j := i + 1; j < m.n; j++ {
+		row[j-i-1] = f.Compare(di, &b.Docs[j])
+	}
 }
 
 // PairIndex enumerates the pairs (i, j), i < j, of an n-document block in
@@ -96,12 +217,13 @@ func (m *Matrix) String() string {
 	if m.n > 12 {
 		return fmt.Sprintf("Matrix(%d×%d)", m.n, m.n)
 	}
-	s := ""
+	var sb strings.Builder
+	sb.Grow(m.n * (m.n*6 + 1))
 	for i := 0; i < m.n; i++ {
 		for j := 0; j < m.n; j++ {
-			s += fmt.Sprintf("%5.2f ", m.At(i, j))
+			fmt.Fprintf(&sb, "%5.2f ", m.At(i, j))
 		}
-		s += "\n"
+		sb.WriteByte('\n')
 	}
-	return s
+	return sb.String()
 }

@@ -1,0 +1,132 @@
+package simfn
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// forceParallel pins GOMAXPROCS to at least 4 for the duration of a test so
+// the worker-pool paths are exercised (and race-checked) even on small CI
+// machines where GOMAXPROCS(0) == 1 would select the serial fallback.
+func forceParallel(t testing.TB) {
+	if runtime.GOMAXPROCS(0) >= 4 {
+		return
+	}
+	old := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// parallelTestBlock prepares a seeded ~60-doc block, large enough (with all
+// ten functions) to cross the parallel cutoff.
+func parallelTestBlock(t testing.TB, numDocs int) *Block {
+	t.Helper()
+	col, err := corpus.GenerateCollection(corpus.CollectionConfig{
+		Name: "parallel", NumDocs: numDocs, NumPersonas: 5,
+		Noise: 0.5, MissingInfo: 0.25, Spurious: 0.3, Template: 0.25, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return PrepareBlock(col, nil)
+}
+
+// TestComputeAllParallelMatchesSerial is the determinism guarantee: the
+// worker-pool ComputeAll must produce bit-identical matrices to the serial
+// reference loop, for every function, on every run. Run with -race to also
+// exercise the disjoint-writes claim.
+func TestComputeAllParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	b := parallelTestBlock(t, 60)
+	funcs := Registry()
+	want := ComputeAllSerial(b, funcs)
+	for round := 0; round < 3; round++ {
+		got := ComputeAll(b, funcs)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d matrices, want %d", round, len(got), len(want))
+		}
+		for id, wm := range want {
+			gm := got[id]
+			if gm.Len() != wm.Len() {
+				t.Fatalf("round %d %s: dim %d, want %d", round, id, gm.Len(), wm.Len())
+			}
+			for k, v := range wm.Values() {
+				if gv := gm.Values()[k]; gv != v {
+					t.Fatalf("round %d %s: cell %d = %v, want %v (not bit-identical)",
+						round, id, k, gv, v)
+				}
+			}
+		}
+	}
+}
+
+// TestComputeMatrixParallelMatchesSerial covers the single-function entry
+// point at a size above the cutoff.
+func TestComputeMatrixParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	b := parallelTestBlock(t, 80)
+	f, err := ByID("F9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ComputeMatrixSerial(b, f)
+	got := ComputeMatrix(b, f)
+	for k, v := range want.Values() {
+		if gv := got.Values()[k]; gv != v {
+			t.Fatalf("cell %d = %v, want %v", k, gv, v)
+		}
+	}
+}
+
+// TestPackedRegistryMatchesFallback compares every function's packed fast
+// path against the map/string fallback on the same block: stripping the
+// packed fields from the docs must change no similarity by more than float
+// summation-order noise.
+func TestPackedRegistryMatchesFallback(t *testing.T) {
+	b := parallelTestBlock(t, 30)
+	unpacked := &Block{
+		Name:        b.Name,
+		Docs:        make([]Doc, len(b.Docs)),
+		Truth:       b.Truth,
+		NumPersonas: b.NumPersonas,
+	}
+	for i, d := range b.Docs {
+		unpacked.Docs[i] = Doc{Features: d.Features, TermVector: d.TermVector}
+	}
+	for _, f := range Registry() {
+		packed := ComputeMatrixSerial(b, f)
+		fallback := ComputeMatrixSerial(unpacked, f)
+		for k, v := range fallback.Values() {
+			diff := packed.Values()[k] - v
+			if diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("%s: cell %d packed %v, fallback %v", f.ID, k, packed.Values()[k], v)
+			}
+		}
+	}
+}
+
+// TestComputeAllSmallBlock exercises the below-cutoff serial path and the
+// degenerate sizes.
+func TestComputeAllSmallBlock(t *testing.T) {
+	b := parallelTestBlock(t, 6)
+	got := ComputeAll(b, Registry())
+	want := ComputeAllSerial(b, Registry())
+	for id, wm := range want {
+		for k, v := range wm.Values() {
+			if gv := got[id].Values()[k]; gv != v {
+				t.Fatalf("%s cell %d: %v != %v", id, k, gv, v)
+			}
+		}
+	}
+	empty := &Block{Name: "empty"}
+	if ms := ComputeAll(empty, Registry()); len(ms) != 10 {
+		t.Fatalf("empty block: %d matrices", len(ms))
+	}
+	one := &Block{Name: "one", Docs: make([]Doc, 1)}
+	for _, m := range ComputeAll(one, Registry()) {
+		if m.Len() != 1 || m.Pairs() != 0 {
+			t.Fatalf("one-doc block: dim %d pairs %d", m.Len(), m.Pairs())
+		}
+	}
+}

@@ -28,11 +28,43 @@ import (
 )
 
 // Doc bundles everything the similarity functions consume for one page.
+//
+// The packed fields (Packed, ConceptPacked and the three ID sets) are the
+// allocation-lean forms the pairwise hot loop reads; they are built once by
+// Pack (PrepareBlock does this for every document) and are nil on manually
+// constructed Docs, in which case every similarity function falls back to
+// the map/string representations. A packed Doc is immutable and safe for
+// concurrent reads.
 type Doc struct {
 	// Features is the information-extraction output for the page.
 	Features extract.DocumentFeatures
 	// TermVector is the TF-IDF weighted word vector over the block corpus.
 	TermVector textsim.SparseVector
+	// Packed is the interned, sorted form of TermVector with precomputed
+	// norm and Pearson statistics (F8-F10).
+	Packed *textsim.PackedVector
+	// ConceptPacked is the packed form of Features.ConceptVector (F1).
+	ConceptPacked *textsim.PackedVector
+	// ConceptSet, OrgSet and PersonSet are the deduplicated, sorted
+	// interned-ID forms of the F4-F6 entity sets.
+	ConceptSet, OrgSet, PersonSet []int32
+	// FrequentName and ClosestName are the prepared (pre-normalized,
+	// pre-tokenized) forms of the F3 and F7 name features.
+	FrequentName, ClosestName textsim.Name
+}
+
+// Pack interns the document's term vectors and entity sets through the
+// block vocabulary, precomputing everything the packed similarity paths
+// read per pair. Documents of one block must be packed against the same
+// Vocab, in a fixed order for run-to-run determinism.
+func (d *Doc) Pack(vocab *textsim.Vocab) {
+	d.Packed = d.TermVector.Pack(vocab)
+	d.ConceptPacked = d.Features.ConceptVector.Pack(vocab)
+	d.ConceptSet = textsim.InternSet(vocab, d.Features.Concepts)
+	d.OrgSet = textsim.InternSet(vocab, d.Features.Organizations)
+	d.PersonSet = textsim.InternSet(vocab, d.Features.OtherPersons)
+	d.FrequentName = textsim.PrepareName(d.Features.MostFrequentName)
+	d.ClosestName = textsim.PrepareName(d.Features.ClosestName)
 }
 
 // Block is a prepared blocking unit: the documents of one collection with
@@ -49,6 +81,10 @@ type Block struct {
 	Truth []int
 	// NumPersonas is the ground-truth number of entities.
 	NumPersonas int
+	// Vocab is the block-local term/entity interning table the packed
+	// document forms were built against; custom similarity functions can
+	// use it to pack their own features.
+	Vocab *textsim.Vocab
 }
 
 // PrepareBlock extracts features and builds TF-IDF vectors for every page
@@ -63,20 +99,21 @@ func PrepareBlock(col *corpus.Collection, fe *extract.FeatureExtractor) *Block {
 	for _, d := range col.Docs {
 		ix.Add(fmt.Sprintf("%s/%d", col.Name, d.ID), d.Text)
 	}
-	cache := index.NewVectorCache(ix)
-	cache.Warm()
+	vectors := ix.AllVectors()
 
 	b := &Block{
 		Name:        col.Name,
 		Docs:        make([]Doc, len(col.Docs)),
 		Truth:       col.GroundTruth(),
 		NumPersonas: col.NumPersonas,
+		Vocab:       textsim.NewVocab(),
 	}
 	for i, d := range col.Docs {
 		b.Docs[i] = Doc{
 			Features:   fe.Extract(d.Text, d.URL, col.Name),
-			TermVector: cache.Vector(i),
+			TermVector: vectors[i],
 		}
+		b.Docs[i].Pack(b.Vocab)
 	}
 	return b
 }
@@ -106,6 +143,12 @@ func Registry() []Func {
 		{
 			ID: "F1", Feature: "Weighted Concept Vector", Measure: "Cosine Similarity",
 			Compare: func(a, b *Doc) float64 {
+				if a.ConceptPacked != nil && b.ConceptPacked != nil {
+					if a.ConceptPacked.Len() == 0 || b.ConceptPacked.Len() == 0 {
+						return 0
+					}
+					return clamp01(textsim.PackedCosine(a.ConceptPacked, b.ConceptPacked))
+				}
 				if len(a.Features.ConceptVector) == 0 || len(b.Features.ConceptVector) == 0 {
 					return 0
 				}
@@ -124,27 +167,49 @@ func Registry() []Func {
 				if a.Features.MostFrequentName == "" || b.Features.MostFrequentName == "" {
 					return 0
 				}
+				// Gate on the prepared names themselves: a partially
+				// packed Doc (Packed set by hand, names never prepared)
+				// must fall back to the string path, not compare two
+				// zero-value Names as equal.
+				if a.FrequentName.Norm != "" && b.FrequentName.Norm != "" {
+					return clamp01(textsim.PreparedNameSimilarity(a.FrequentName, b.FrequentName))
+				}
 				return clamp01(textsim.NameSimilarity(a.Features.MostFrequentName, b.Features.MostFrequentName))
 			},
 		},
 		{
 			ID: "F4", Feature: "Concepts Vector", Measure: "Number of overlapping concepts",
 			Compare: func(a, b *Doc) float64 {
-				n := textsim.SetOverlapCount(a.Features.Concepts, b.Features.Concepts)
+				var n int
+				if a.ConceptSet != nil && b.ConceptSet != nil {
+					n = textsim.IntersectSortedCount(a.ConceptSet, b.ConceptSet)
+				} else {
+					n = textsim.SetOverlapCount(a.Features.Concepts, b.Features.Concepts)
+				}
 				return textsim.NormalizedOverlap(n, overlapHalf)
 			},
 		},
 		{
 			ID: "F5", Feature: "Organizations Entities on the page", Measure: "Number of overlapping organizations",
 			Compare: func(a, b *Doc) float64 {
-				n := textsim.SetOverlapCount(a.Features.Organizations, b.Features.Organizations)
+				var n int
+				if a.OrgSet != nil && b.OrgSet != nil {
+					n = textsim.IntersectSortedCount(a.OrgSet, b.OrgSet)
+				} else {
+					n = textsim.SetOverlapCount(a.Features.Organizations, b.Features.Organizations)
+				}
 				return textsim.NormalizedOverlap(n, overlapHalf)
 			},
 		},
 		{
 			ID: "F6", Feature: "Other Person-Names on the page", Measure: "Number of overlapping persons",
 			Compare: func(a, b *Doc) float64 {
-				n := textsim.SetOverlapCount(a.Features.OtherPersons, b.Features.OtherPersons)
+				var n int
+				if a.PersonSet != nil && b.PersonSet != nil {
+					n = textsim.IntersectSortedCount(a.PersonSet, b.PersonSet)
+				} else {
+					n = textsim.SetOverlapCount(a.Features.OtherPersons, b.Features.OtherPersons)
+				}
 				return textsim.NormalizedOverlap(n, overlapHalf)
 			},
 		},
@@ -154,12 +219,21 @@ func Registry() []Func {
 				if a.Features.ClosestName == "" || b.Features.ClosestName == "" {
 					return 0
 				}
+				if a.ClosestName.Norm != "" && b.ClosestName.Norm != "" {
+					return clamp01(textsim.PreparedNameSimilarity(a.ClosestName, b.ClosestName))
+				}
 				return clamp01(textsim.NameSimilarity(a.Features.ClosestName, b.Features.ClosestName))
 			},
 		},
 		{
 			ID: "F8", Feature: "TF-IDF words vector", Measure: "Cosine Similarity",
 			Compare: func(a, b *Doc) float64 {
+				if a.Packed != nil && b.Packed != nil {
+					if a.Packed.Len() == 0 || b.Packed.Len() == 0 {
+						return 0
+					}
+					return clamp01(textsim.PackedCosine(a.Packed, b.Packed))
+				}
 				if len(a.TermVector) == 0 || len(b.TermVector) == 0 {
 					return 0
 				}
@@ -169,6 +243,12 @@ func Registry() []Func {
 		{
 			ID: "F9", Feature: "TF-IDF words vector", Measure: "Pearson Correlation similarity",
 			Compare: func(a, b *Doc) float64 {
+				if a.Packed != nil && b.Packed != nil {
+					if a.Packed.Len() == 0 || b.Packed.Len() == 0 {
+						return 0
+					}
+					return clamp01(textsim.PackedPearsonSim(a.Packed, b.Packed))
+				}
 				if len(a.TermVector) == 0 || len(b.TermVector) == 0 {
 					return 0
 				}
@@ -178,6 +258,12 @@ func Registry() []Func {
 		{
 			ID: "F10", Feature: "TF-IDF words vector", Measure: "Extended Jaccard similarity",
 			Compare: func(a, b *Doc) float64 {
+				if a.Packed != nil && b.Packed != nil {
+					if a.Packed.Len() == 0 || b.Packed.Len() == 0 {
+						return 0
+					}
+					return clamp01(textsim.PackedExtendedJaccard(a.Packed, b.Packed))
+				}
 				if len(a.TermVector) == 0 || len(b.TermVector) == 0 {
 					return 0
 				}

@@ -1,0 +1,241 @@
+package textsim
+
+import (
+	"math"
+	"sort"
+)
+
+// Vocab interns strings (terms, entity names) into dense int32 IDs for one
+// block. IDs are assigned in first-intern order, so building a vocabulary
+// by walking documents in a fixed order yields the same IDs on every run —
+// the foundation of the pipeline's run-to-run determinism. A Vocab is not
+// safe for concurrent mutation; concurrent lookups after the last ID call
+// are safe.
+type Vocab struct {
+	ids   map[string]int32
+	terms []string
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{ids: make(map[string]int32)}
+}
+
+// ID returns the ID of term, interning it if unseen.
+func (v *Vocab) ID(term string) int32 {
+	if id, ok := v.ids[term]; ok {
+		return id
+	}
+	id := int32(len(v.terms))
+	v.ids[term] = id
+	v.terms = append(v.terms, term)
+	return id
+}
+
+// Lookup returns the ID of term without interning.
+func (v *Vocab) Lookup(term string) (int32, bool) {
+	id, ok := v.ids[term]
+	return id, ok
+}
+
+// Term returns the string interned as id.
+func (v *Vocab) Term(id int32) string { return v.terms[id] }
+
+// Len returns the number of interned strings.
+func (v *Vocab) Len() int { return len(v.terms) }
+
+// PackedVector is the allocation-lean form of a SparseVector: term IDs
+// interned through a block Vocab, sorted ascending, with weights in a
+// parallel slice. The L2 norm and the Pearson sufficient statistics
+// (Σw, Σw²) are computed once at pack time, so the pairwise similarity
+// loop touches only the two ID/weight arrays with a branch-predictable
+// merge join — no hashing, no allocation. A PackedVector is immutable
+// after Pack and safe for concurrent reads.
+type PackedVector struct {
+	// IDs are the interned term IDs in ascending order.
+	IDs []int32
+	// Weights are the term weights, parallel to IDs.
+	Weights []float64
+
+	norm  float64 // L2 norm
+	sum   float64 // Σw
+	sumSq float64 // Σw²
+}
+
+// Pack converts v into its packed form, interning every term through vocab.
+// Terms are interned in lexicographic order so vocabularies built from the
+// same documents in the same order are identical across runs, making the
+// merge-join summation order (and therefore every downstream similarity
+// value) deterministic — unlike map iteration, which reorders float
+// additions on every run.
+func (v SparseVector) Pack(vocab *Vocab) *PackedVector {
+	terms := make([]string, 0, len(v))
+	for t := range v {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+
+	p := &PackedVector{
+		IDs:     make([]int32, len(terms)),
+		Weights: make([]float64, len(terms)),
+	}
+	for i, t := range terms {
+		w := v[t]
+		p.IDs[i] = vocab.ID(t)
+		p.Weights[i] = w
+		p.sum += w
+		p.sumSq += w * w
+	}
+	sort.Sort(byID{p})
+	p.norm = math.Sqrt(p.sumSq)
+	return p
+}
+
+// byID sorts a PackedVector's parallel slices by term ID.
+type byID struct{ p *PackedVector }
+
+func (s byID) Len() int           { return len(s.p.IDs) }
+func (s byID) Less(i, j int) bool { return s.p.IDs[i] < s.p.IDs[j] }
+func (s byID) Swap(i, j int) {
+	s.p.IDs[i], s.p.IDs[j] = s.p.IDs[j], s.p.IDs[i]
+	s.p.Weights[i], s.p.Weights[j] = s.p.Weights[j], s.p.Weights[i]
+}
+
+// Len returns the support size (number of non-zero entries).
+func (p *PackedVector) Len() int { return len(p.IDs) }
+
+// Norm returns the precomputed Euclidean norm.
+func (p *PackedVector) Norm() float64 { return p.norm }
+
+// Sum returns the precomputed Σw over the support.
+func (p *PackedVector) Sum() float64 { return p.sum }
+
+// SumSquares returns the precomputed Σw² over the support.
+func (p *PackedVector) SumSquares() float64 { return p.sumSq }
+
+// Dot returns the inner product of p and o via a merge join over the two
+// sorted ID slices. It performs no allocation and no hashing.
+func (p *PackedVector) Dot(o *PackedVector) float64 {
+	dot, _ := p.dotIntersect(o)
+	return dot
+}
+
+// dotIntersect returns the inner product and the intersection size in one
+// merge-join pass.
+func (p *PackedVector) dotIntersect(o *PackedVector) (float64, int) {
+	var dot float64
+	inter := 0
+	i, j := 0, 0
+	for i < len(p.IDs) && j < len(o.IDs) {
+		a, b := p.IDs[i], o.IDs[j]
+		switch {
+		case a == b:
+			dot += p.Weights[i] * o.Weights[j]
+			inter++
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+	return dot, inter
+}
+
+// PackedCosine is Cosine on packed vectors: the cosine similarity with the
+// same edge-case conventions (two empty vectors are identical; a zero-norm
+// vector against anything else scores 0).
+func PackedCosine(a, b *PackedVector) float64 {
+	if a.Len() == 0 && b.Len() == 0 {
+		return 1
+	}
+	if a.norm == 0 || b.norm == 0 {
+		return 0
+	}
+	return a.Dot(b) / (a.norm * b.norm)
+}
+
+// PackedExtendedJaccard is ExtendedJaccard on packed vectors.
+func PackedExtendedJaccard(a, b *PackedVector) float64 {
+	if a.Len() == 0 && b.Len() == 0 {
+		return 1
+	}
+	dot := a.Dot(b)
+	den := a.sumSq + b.sumSq - dot
+	if den <= 0 {
+		return 0
+	}
+	return dot / den
+}
+
+// PackedPearsonSim is PearsonSim on packed vectors. The per-vector sums and
+// squared sums are read from the pack-time statistics instead of being
+// recomputed per pair, turning the map version's O(|a|+|b|) tail work into
+// O(1) on top of the shared merge join.
+func PackedPearsonSim(a, b *PackedVector) float64 {
+	if a.Len() == 0 && b.Len() == 0 {
+		return 1
+	}
+	dot, inter := a.dotIntersect(b)
+	n := float64(a.Len() + b.Len() - inter)
+	if n == 0 {
+		return 1
+	}
+	// Over the union support U: Σ(x−mx)(y−my) = x·y − SxSy/|U|, etc.
+	sxy := dot - a.sum*b.sum/n
+	sxx := a.sumSq - a.sum*a.sum/n
+	syy := b.sumSq - b.sum*b.sum/n
+	if sxx <= 1e-15 || syy <= 1e-15 {
+		return 0.5
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return (r + 1) / 2
+}
+
+// InternSet interns a string slice as a deduplicated, ascending-sorted ID
+// set — the packed form of the entity sets the overlap-count functions
+// (F4-F6) compare. The result is never nil, so a nil set can signal "not
+// packed" to callers with a construction-time fallback.
+func InternSet(vocab *Vocab, items []string) []int32 {
+	out := make([]int32, 0, len(items))
+	for _, s := range items {
+		out = append(out, vocab.ID(s))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Dedupe in place; SetOverlapCount semantics treat the slices as sets.
+	n := 0
+	for i, id := range out {
+		if i == 0 || id != out[n-1] {
+			out[n] = id
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// IntersectSortedCount returns |A∩B| of two ascending, deduplicated ID
+// sets via a merge join — the packed counterpart of SetOverlapCount.
+func IntersectSortedCount(a, b []int32) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+package textsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomVector builds a sparse vector over a shared synthetic vocabulary so
+// random pairs have realistic partial overlap.
+func randomVector(rng *rand.Rand, support, vocabSize int) SparseVector {
+	v := NewSparseVector()
+	for len(v) < support {
+		t := fmt.Sprintf("term%04d", rng.Intn(vocabSize))
+		v[t] = math.Round(rng.NormFloat64()*1000) / 1000
+		if v[t] == 0 {
+			delete(v, t)
+		}
+	}
+	return v
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vocab := NewVocab()
+	v := randomVector(rng, 50, 200)
+	p := v.Pack(vocab)
+
+	if p.Len() != len(v) {
+		t.Fatalf("packed support %d, map support %d", p.Len(), len(v))
+	}
+	for i, id := range p.IDs {
+		if i > 0 && p.IDs[i-1] >= id {
+			t.Fatalf("IDs not strictly ascending at %d: %v >= %v", i, p.IDs[i-1], id)
+		}
+		term := vocab.Term(id)
+		if p.Weights[i] != v[term] {
+			t.Errorf("weight of %q: packed %v, map %v", term, p.Weights[i], v[term])
+		}
+	}
+	if math.Abs(p.Norm()-v.Norm()) > 1e-12 {
+		t.Errorf("norm: packed %v, map %v", p.Norm(), v.Norm())
+	}
+}
+
+// TestPackedEquivalence is the satellite equivalence suite: on many random
+// vector pairs, every packed measure must match its map-based counterpart
+// within 1e-12.
+func TestPackedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		vocab := NewVocab()
+		a := randomVector(rng, 1+rng.Intn(80), 150)
+		b := randomVector(rng, 1+rng.Intn(80), 150)
+		pa, pb := a.Pack(vocab), b.Pack(vocab)
+
+		checks := []struct {
+			name      string
+			m, packed float64
+		}{
+			{"Dot", a.Dot(b), pa.Dot(pb)},
+			{"Cosine", Cosine(a, b), PackedCosine(pa, pb)},
+			{"Pearson", PearsonSim(a, b), PackedPearsonSim(pa, pb)},
+			{"ExtendedJaccard", ExtendedJaccard(a, b), PackedExtendedJaccard(pa, pb)},
+		}
+		for _, c := range checks {
+			if math.Abs(c.m-c.packed) > 1e-12 {
+				t.Fatalf("trial %d %s: map %v, packed %v", trial, c.name, c.m, c.packed)
+			}
+		}
+	}
+}
+
+func TestPackedEdgeCases(t *testing.T) {
+	vocab := NewVocab()
+	empty := NewSparseVector().Pack(vocab)
+	one := SparseVector{"x": 2}.Pack(vocab)
+
+	if got := PackedCosine(empty, empty); got != 1 {
+		t.Errorf("cosine(∅,∅) = %v, want 1", got)
+	}
+	if got := PackedCosine(empty, one); got != 0 {
+		t.Errorf("cosine(∅,x) = %v, want 0", got)
+	}
+	if got := PackedExtendedJaccard(empty, empty); got != 1 {
+		t.Errorf("extjaccard(∅,∅) = %v, want 1", got)
+	}
+	if got := PackedPearsonSim(empty, empty); got != 1 {
+		t.Errorf("pearson(∅,∅) = %v, want 1", got)
+	}
+	if got := PackedPearsonSim(one, one); got != 0.5 {
+		// Single-term vectors have zero variance over the union support.
+		t.Errorf("pearson(x,x) = %v, want 0.5", got)
+	}
+	if got := PackedExtendedJaccard(one, one); got != 1 {
+		t.Errorf("extjaccard(x,x) = %v, want 1", got)
+	}
+}
+
+func TestInternSetAndIntersect(t *testing.T) {
+	vocab := NewVocab()
+	a := InternSet(vocab, []string{"ibm", "mit", "ibm", "acm"})
+	b := InternSet(vocab, []string{"acm", "nasa", "mit"})
+	if a == nil || len(a) != 3 {
+		t.Fatalf("InternSet dedupe: got %v", a)
+	}
+	if got, want := IntersectSortedCount(a, b), SetOverlapCount(
+		[]string{"ibm", "mit", "ibm", "acm"}, []string{"acm", "nasa", "mit"}); got != want {
+		t.Errorf("overlap: packed %d, strings %d", got, want)
+	}
+	if got := IntersectSortedCount(a, nil); got != 0 {
+		t.Errorf("overlap with empty = %d", got)
+	}
+	if empty := InternSet(vocab, nil); empty == nil || len(empty) != 0 {
+		t.Errorf("InternSet(nil) = %v, want non-nil empty", empty)
+	}
+}
+
+// TestPackDeterministicIDs pins the determinism contract: packing the same
+// documents in the same order yields identical vocabularies and ID slices,
+// regardless of map iteration order.
+func TestPackDeterministicIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	docs := make([]SparseVector, 20)
+	for i := range docs {
+		docs[i] = randomVector(rng, 30, 100)
+	}
+	v1, v2 := NewVocab(), NewVocab()
+	for _, d := range docs {
+		p1, p2 := d.Pack(v1), d.Pack(v2)
+		for i := range p1.IDs {
+			if p1.IDs[i] != p2.IDs[i] || p1.Weights[i] != p2.Weights[i] {
+				t.Fatalf("non-deterministic pack at entry %d", i)
+			}
+		}
+	}
+	if v1.Len() != v2.Len() {
+		t.Fatalf("vocab sizes differ: %d vs %d", v1.Len(), v2.Len())
+	}
+}
+
+// benchPair builds a realistic TF-IDF-sized document pair (~400 terms each,
+// partial overlap) in both representations.
+func benchPair() (am, bm SparseVector, ap, bp *PackedVector, vocab *Vocab) {
+	rng := rand.New(rand.NewSource(1))
+	vocab = NewVocab()
+	am = randomVector(rng, 400, 1200)
+	bm = randomVector(rng, 400, 1200)
+	ap, bp = am.Pack(vocab), bm.Pack(vocab)
+	return
+}
+
+var dotSink float64
+
+// BenchmarkDot_Map measures the map substrate's per-pair cost including the
+// vector materialization the old pipeline paid whenever a vector was not
+// memoized (index.DocVector rebuilt a map per call): hash-map construction
+// plus a hashing dot product.
+func BenchmarkDot_Map(b *testing.B) {
+	am, bm, _, _, _ := benchPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := NewSparseVector()
+		for t, w := range am {
+			v[t] = w
+		}
+		dotSink += v.Dot(bm)
+	}
+}
+
+// BenchmarkDot_Packed measures the packed substrate's per-pair cost: the
+// packed design moves construction out of the pairwise loop entirely (Pack
+// runs once per document at block-preparation time), so the hot path is a
+// single allocation-free merge join.
+func BenchmarkDot_Packed(b *testing.B) {
+	_, _, ap, bp, _ := benchPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dotSink += ap.Dot(bp)
+	}
+}

@@ -73,13 +73,35 @@ func TokenDice(a, b string) float64 {
 // character-level typos and to token reordering ("John R. Smith" vs
 // "Smith, John").
 func NameSimilarity(a, b string) float64 {
-	a = normalizeName(a)
-	b = normalizeName(b)
-	if a == b {
+	return PreparedNameSimilarity(PrepareName(a), PrepareName(b))
+}
+
+// Name is a person name prepared for repeated comparison: the normalized
+// form and its token list are computed once, so the pairwise loop skips the
+// string rewriting NameSimilarity performs per call. A Name is immutable
+// and safe for concurrent reads.
+type Name struct {
+	// Norm is the normalized (lower-cased, punctuation-folded) name.
+	Norm string
+	// Tokens are the whitespace tokens of Norm.
+	Tokens []string
+}
+
+// PrepareName normalizes and tokenizes s once for repeated comparisons.
+func PrepareName(s string) Name {
+	norm := normalizeName(s)
+	return Name{Norm: norm, Tokens: strings.Fields(norm)}
+}
+
+// PreparedNameSimilarity is NameSimilarity over prepared names; by
+// construction NameSimilarity(a, b) == PreparedNameSimilarity(PrepareName(a),
+// PrepareName(b)).
+func PreparedNameSimilarity(a, b Name) float64 {
+	if a.Norm == b.Norm {
 		return 1
 	}
-	whole := JaroWinkler(a, b)
-	tokens := MongeElkan(simpleTokens(a), simpleTokens(b), JaroWinkler)
+	whole := JaroWinkler(a.Norm, b.Norm)
+	tokens := MongeElkan(a.Tokens, b.Tokens, JaroWinkler)
 	if tokens > whole {
 		return tokens
 	}
