@@ -35,7 +35,7 @@ func benchConfig() experiments.Config {
 // regions, the quantity the figure demonstrates.
 func BenchmarkFigure1_RegionAccuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := experiments.Figure1(benchConfig())
+		f, err := experiments.Figure1(b.Context(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +47,7 @@ func BenchmarkFigure1_RegionAccuracy(b *testing.B) {
 // WWW'05) and reports the combined Fp.
 func BenchmarkFigure2_WWW05(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := experiments.Figure2(benchConfig())
+		f, err := experiments.Figure2(b.Context(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +60,7 @@ func BenchmarkFigure2_WWW05(b *testing.B) {
 // the WePS ACL names) and reports the combined Fp.
 func BenchmarkFigure3_WePS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f, err := experiments.Figure3(benchConfig())
+		f, err := experiments.Figure3(b.Context(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +73,7 @@ func BenchmarkFigure3_WePS(b *testing.B) {
 // datasets) and reports the WWW'05 C10 Fp.
 func BenchmarkTable2_Comparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.TableII(benchConfig())
+		t, err := experiments.TableII(b.Context(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +86,7 @@ func BenchmarkTable2_Comparison(b *testing.B) {
 // function on WWW'05) and reports how many names C10 wins or ties.
 func BenchmarkTable3_PerName(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.TableIII(benchConfig())
+		t, err := experiments.TableIII(b.Context(), benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +112,7 @@ func ablationCfg() experiments.Config {
 // BenchmarkAblation_Regions compares the decision-criteria pools.
 func BenchmarkAblation_Regions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationRegionScheme(ablationCfg())
+		res, err := experiments.AblationRegionScheme(b.Context(), ablationCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +123,7 @@ func BenchmarkAblation_Regions(b *testing.B) {
 // BenchmarkAblation_K varies the region count.
 func BenchmarkAblation_K(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationRegionK(ablationCfg(), []int{5, 10, 15})
+		res, err := experiments.AblationRegionK(b.Context(), ablationCfg(), []int{5, 10, 15})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +135,7 @@ func BenchmarkAblation_K(b *testing.B) {
 // clustering.
 func BenchmarkAblation_Clustering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationClustering(ablationCfg())
+		res, err := experiments.AblationClustering(b.Context(), ablationCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +146,7 @@ func BenchmarkAblation_Clustering(b *testing.B) {
 // BenchmarkAblation_TrainingFraction varies the labeled fraction.
 func BenchmarkAblation_TrainingFraction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationTrainFraction(ablationCfg(), []float64{0.05, 0.10, 0.20})
+		res, err := experiments.AblationTrainFraction(b.Context(), ablationCfg(), []float64{0.05, 0.10, 0.20})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +157,7 @@ func BenchmarkAblation_TrainingFraction(b *testing.B) {
 // BenchmarkAblation_Combination compares the combination methods.
 func BenchmarkAblation_Combination(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationCombination(ablationCfg())
+		res, err := experiments.AblationCombination(b.Context(), ablationCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -341,7 +341,7 @@ func BenchmarkGenerateCollection(b *testing.B) {
 // framework's margin.
 func BenchmarkBaseline_RSwoosh(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.BaselineComparison(ablationCfg())
+		res, err := experiments.BaselineComparison(b.Context(), ablationCfg())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,30 +1,54 @@
-// Command ersolve runs the entity-resolution framework over a dataset JSON
+// Command ersolve runs the entity-resolution pipeline over a dataset JSON
 // file (as produced by ergen) and prints the resolved entities, optionally
-// with quality scores against the embedded ground truth.
+// with quality scores against the embedded ground truth; `ersolve serve`
+// exposes the same pipeline as an HTTP service.
 //
 // Usage:
 //
 //	ersolve -in dataset.json [-strategy best|threshold|weighted|majority]
-//	        [-clustering closure|correlation] [-train 0.10] [-regions 10]
-//	        [-seed N] [-score] [-members]
+//	        [-clustering closure|correlation]
+//	        [-blocking exact|token|sortedneighborhood|canopy]
+//	        [-train 0.10] [-regions 10] [-seed N] [-score] [-members]
+//	ersolve serve [-addr :8476] [-timeout 30s] [-max-body 33554432]
+//
+// The serve mode accepts POST /v1/resolve with an ergen dataset JSON body
+// (plus optional "strategy", "clustering", "blocking", "timeout_ms", …
+// fields) and answers with clusters and scores; requests are canceled
+// mid-resolution when their timeout fires.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
-	"repro/internal/stats"
+	"repro/internal/pipeline"
+	"repro/internal/service"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "ersolve serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var (
 		in         = flag.String("in", "", "input dataset JSON (required)")
 		strategy   = flag.String("strategy", "best", "best | threshold | weighted | majority")
 		clustering = flag.String("clustering", "closure", "closure | correlation")
+		blockingF  = flag.String("blocking", "exact", "exact | token | sortedneighborhood | canopy")
 		train      = flag.Float64("train", 0.10, "training fraction")
 		regionK    = flag.Int("regions", 10, "accuracy-estimation regions")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -34,24 +58,53 @@ func main() {
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "ersolve: -in is required")
-		os.Exit(1)
+		os.Exit(2)
 	}
 
-	if err := run(*in, *strategy, *clustering, *train, *regionK, *seed, *score, *members); err != nil {
+	// Validate every enum flag up front so a typo fails fast with the
+	// list of valid values, before any data is loaded.
+	strategyFn, err := pipeline.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ersolve: -strategy:", err)
+		os.Exit(2)
+	}
+	clusteringM, err := core.ParseClusteringMethod(*clustering)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ersolve: -clustering:", err)
+		os.Exit(2)
+	}
+	blocker, err := pipeline.ParseBlocker(*blockingF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ersolve: -blocking:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *in, strategyFn, clusteringM, blocker, *train, *regionK, *seed, *score, *members); err != nil {
 		fmt.Fprintln(os.Stderr, "ersolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, strategy, clustering string, train float64, regionK int,
-	seed int64, score, members bool) error {
-
-	f, err := os.Open(in)
+// loadDataset reads and validates the dataset, closing the file on every
+// path and surfacing close errors.
+func loadDataset(path string) (*corpus.Dataset, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer f.Close()
 	dataset, err := corpus.ReadJSON(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, cerr
+	}
+	return dataset, err
+}
+
+func run(ctx context.Context, in string, strategy pipeline.Strategy, clustering core.ClusteringMethod,
+	blocker pipeline.Blocker, train float64, regionK int, seed int64, score, members bool) error {
+
+	dataset, err := loadDataset(in)
 	if err != nil {
 		return err
 	}
@@ -60,64 +113,38 @@ func run(in, strategy, clustering string, train float64, regionK int,
 	opts.TrainFraction = train
 	opts.RegionK = regionK
 	opts.Seed = seed
-	switch clustering {
-	case "closure":
-		opts.Clustering = core.TransitiveClosure
-	case "correlation":
-		opts.Clustering = core.CorrelationClustering
-	default:
-		return fmt.Errorf("unknown clustering %q", clustering)
+	opts.Clustering = clustering
+	pl, err := pipeline.New(pipeline.Config{
+		Options:  opts,
+		Strategy: strategy,
+		Blocker:  blocker,
+		Score:    score,
+	})
+	if err != nil {
+		return err
 	}
-	resolver, err := core.New(opts)
+
+	results, err := pl.Run(ctx, dataset.Collections)
 	if err != nil {
 		return err
 	}
 
 	var scores []eval.Result
-	for i, col := range dataset.Collections {
-		prep, err := resolver.Prepare(col)
-		if err != nil {
-			return err
-		}
-		analysis, err := prep.Run(stats.SplitSeedN(seed, i))
-		if err != nil {
-			return err
-		}
-		var res *core.Resolution
-		switch strategy {
-		case "best":
-			res, err = analysis.BestAnyCriterion()
-		case "threshold":
-			res, err = analysis.BestThresholdOnly()
-		case "weighted":
-			res, err = analysis.WeightedAverage()
-		case "majority":
-			res, err = analysis.MajorityVote()
-		default:
-			return fmt.Errorf("unknown strategy %q", strategy)
-		}
-		if err != nil {
-			return err
-		}
-
+	for _, res := range results {
 		fmt.Printf("%s: %d pages -> %d entities (%s)\n",
-			col.Name, len(col.Docs), res.NumEntities(), res.Source)
+			res.Block.Name, len(res.Block.Docs), res.Resolution.NumEntities(), res.Resolution.Source)
 		if members {
 			clusters := make(map[int][]int)
-			for doc, label := range res.Labels {
+			for doc, label := range res.Resolution.Labels {
 				clusters[label] = append(clusters[label], doc)
 			}
-			for label := 0; label < res.NumEntities(); label++ {
+			for label := 0; label < res.Resolution.NumEntities(); label++ {
 				fmt.Printf("  entity %d: %v\n", label, clusters[label])
 			}
 		}
-		if score {
-			s, err := eval.Evaluate(res.Labels, col.GroundTruth())
-			if err != nil {
-				return err
-			}
-			scores = append(scores, s)
-			fmt.Printf("  Fp=%.4f F=%.4f Rand=%.4f\n", s.Fp, s.F, s.Rand)
+		if res.Score != nil {
+			scores = append(scores, *res.Score)
+			fmt.Printf("  Fp=%.4f F=%.4f Rand=%.4f\n", res.Score.Fp, res.Score.F, res.Score.Rand)
 		}
 	}
 	if score && len(scores) > 1 {
@@ -125,4 +152,37 @@ func run(in, strategy, clustering string, train float64, regionK int,
 		fmt.Printf("\naverage: Fp=%.4f F=%.4f Rand=%.4f\n", avg.Fp, avg.F, avg.Rand)
 	}
 	return nil
+}
+
+// runServe starts the HTTP service layer and blocks until the listener
+// fails or an interrupt triggers a graceful shutdown.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("ersolve serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", ":8476", "listen address")
+		timeout = fs.Duration("timeout", 30*time.Second, "maximum per-request resolution time")
+		maxBody = fs.Int64("max-body", 32<<20, "maximum request body bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := service.New(service.Config{DefaultTimeout: *timeout, MaxTimeout: *timeout, MaxBodyBytes: *maxBody})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "ersolve: serving POST /v1/resolve on %s (timeout %v)\n", *addr, *timeout)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
 }

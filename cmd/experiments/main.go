@@ -7,12 +7,17 @@
 //
 // Output is printed as text tables; Table II additionally prints the
 // paper's reported numbers and the shape checks documented in DESIGN.md.
+// An interrupt (Ctrl-C) cancels the in-flight experiment mid-computation
+// through the pipeline's context.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -35,13 +40,15 @@ func main() {
 		cfg.Seed = *seed
 	}
 
-	if err := run(cfg, *exp); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.Config, exp string) error {
+func run(ctx context.Context, cfg experiments.Config, exp string) error {
 	runOne := func(name string, f func() error) error {
 		start := time.Now()
 		if err := f(); err != nil {
@@ -54,7 +61,7 @@ func run(cfg experiments.Config, exp string) error {
 	all := exp == "all"
 	if all || exp == "fig1" {
 		if err := runOne("fig1", func() error {
-			f, err := experiments.Figure1(cfg)
+			f, err := experiments.Figure1(ctx, cfg)
 			if err != nil {
 				return err
 			}
@@ -66,7 +73,7 @@ func run(cfg experiments.Config, exp string) error {
 	}
 	if all || exp == "fig2" {
 		if err := runOne("fig2", func() error {
-			f, err := experiments.Figure2(cfg)
+			f, err := experiments.Figure2(ctx, cfg)
 			if err != nil {
 				return err
 			}
@@ -79,7 +86,7 @@ func run(cfg experiments.Config, exp string) error {
 	}
 	if all || exp == "fig3" {
 		if err := runOne("fig3", func() error {
-			f, err := experiments.Figure3(cfg)
+			f, err := experiments.Figure3(ctx, cfg)
 			if err != nil {
 				return err
 			}
@@ -92,7 +99,7 @@ func run(cfg experiments.Config, exp string) error {
 	}
 	if all || exp == "table2" {
 		if err := runOne("table2", func() error {
-			t, err := experiments.TableII(cfg)
+			t, err := experiments.TableII(ctx, cfg)
 			if err != nil {
 				return err
 			}
@@ -119,7 +126,7 @@ func run(cfg experiments.Config, exp string) error {
 	}
 	if all || exp == "table3" {
 		if err := runOne("table3", func() error {
-			t, err := experiments.TableIII(cfg)
+			t, err := experiments.TableIII(ctx, cfg)
 			if err != nil {
 				return err
 			}
@@ -134,7 +141,7 @@ func run(cfg experiments.Config, exp string) error {
 		}
 	}
 	if exp == "ablations" {
-		if err := runOne("ablations", func() error { return runAblations(cfg) }); err != nil {
+		if err := runOne("ablations", func() error { return runAblations(ctx, cfg) }); err != nil {
 			return err
 		}
 	}
@@ -146,29 +153,29 @@ func run(cfg experiments.Config, exp string) error {
 }
 
 // runAblations prints every design-choice ablation of DESIGN.md §5.
-func runAblations(cfg experiments.Config) error {
+func runAblations(ctx context.Context, cfg experiments.Config) error {
 	type ablation struct {
 		title string
 		run   func() ([]experiments.AblationResult, error)
 	}
 	for _, a := range []ablation{
 		{"criteria pools (region schemes)", func() ([]experiments.AblationResult, error) {
-			return experiments.AblationRegionScheme(cfg)
+			return experiments.AblationRegionScheme(ctx, cfg)
 		}},
 		{"region count k", func() ([]experiments.AblationResult, error) {
-			return experiments.AblationRegionK(cfg, []int{5, 10, 15})
+			return experiments.AblationRegionK(ctx, cfg, []int{5, 10, 15})
 		}},
 		{"final clustering step", func() ([]experiments.AblationResult, error) {
-			return experiments.AblationClustering(cfg)
+			return experiments.AblationClustering(ctx, cfg)
 		}},
 		{"training fraction", func() ([]experiments.AblationResult, error) {
-			return experiments.AblationTrainFraction(cfg, []float64{0.05, 0.10, 0.20})
+			return experiments.AblationTrainFraction(ctx, cfg, []float64{0.05, 0.10, 0.20})
 		}},
 		{"combination method", func() ([]experiments.AblationResult, error) {
-			return experiments.AblationCombination(cfg)
+			return experiments.AblationCombination(ctx, cfg)
 		}},
 		{"framework vs R-Swoosh baseline", func() ([]experiments.AblationResult, error) {
-			return experiments.BaselineComparison(cfg)
+			return experiments.BaselineComparison(ctx, cfg)
 		}},
 	} {
 		res, err := a.run()

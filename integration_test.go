@@ -168,7 +168,7 @@ func TestBlockingFeedsResolver(t *testing.T) {
 }
 
 func TestSwooshBaselineAgainstFramework(t *testing.T) {
-	res, err := experiments.BaselineComparison(experiments.Config{
+	res, err := experiments.BaselineComparison(t.Context(), experiments.Config{
 		Seed: 2010, Runs: 1, TrainFraction: 0.10, RegionK: 10,
 	})
 	if err != nil {

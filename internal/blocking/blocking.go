@@ -9,6 +9,7 @@
 package blocking
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -40,6 +41,31 @@ type Scheme interface {
 	// Candidates returns the candidate pairs, deduplicated, in
 	// deterministic order.
 	Candidates(records []Record) []Pair
+}
+
+// SchemeNames are the accepted ParseScheme spellings, in display order for
+// CLI/API usage messages.
+var SchemeNames = []string{"exact", "token", "sortedneighborhood", "canopy"}
+
+// ParseScheme maps a CLI/API name to a scheme with its default parameters:
+// exact-key blocking (the paper's), token blocking with the default minimum
+// token length, sorted neighborhood with a window of 7, and canopy
+// clustering with loose/tight thresholds 0.3/0.8. Unknown names return an
+// error listing every valid spelling.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "exact":
+		return ExactKey{}, nil
+	case "token":
+		return TokenBlocking{}, nil
+	case "sortedneighborhood":
+		return SortedNeighborhood{Window: 7}, nil
+	case "canopy":
+		return Canopy{Loose: 0.3, Tight: 0.8}, nil
+	default:
+		return nil, fmt.Errorf("blocking: unknown scheme %q (valid: %s)",
+			name, strings.Join(SchemeNames, ", "))
+	}
 }
 
 // ExactKey blocks records sharing any identical normalized key — the

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/simfn"
 )
@@ -33,6 +34,24 @@ func (m ClusteringMethod) String() string {
 		return "correlation-clustering"
 	default:
 		return "unknown"
+	}
+}
+
+// ClusteringNames are the accepted ParseClusteringMethod spellings, in
+// display order for CLI/API usage messages.
+var ClusteringNames = []string{"closure", "correlation"}
+
+// ParseClusteringMethod maps a CLI/API name to a clustering method. Unknown
+// names return an error listing every valid spelling.
+func ParseClusteringMethod(name string) (ClusteringMethod, error) {
+	switch name {
+	case "closure":
+		return TransitiveClosure, nil
+	case "correlation":
+		return CorrelationClustering, nil
+	default:
+		return 0, fmt.Errorf("core: unknown clustering %q (valid: %s)",
+			name, strings.Join(ClusteringNames, ", "))
 	}
 }
 

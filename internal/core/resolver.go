@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -53,13 +54,29 @@ type Prepared struct {
 // Prepare extracts features and computes all similarity matrices for one
 // collection (the per-block G_w^fi computation of Algorithm 1).
 func (r *Resolver) Prepare(col *corpus.Collection) (*Prepared, error) {
+	return r.PrepareCtx(context.Background(), col)
+}
+
+// PrepareCtx is Prepare with cancellation: the context is threaded into
+// feature extraction and the pairwise matrix computation, so a canceled or
+// timed-out context aborts mid-extraction or mid-matrix and returns
+// ctx.Err(). The result is identical to Prepare's when the context never
+// fires.
+func (r *Resolver) PrepareCtx(ctx context.Context, col *corpus.Collection) (*Prepared, error) {
 	if len(col.Docs) < 2 {
 		return nil, fmt.Errorf("core: collection %q has %d documents", col.Name, len(col.Docs))
 	}
-	block := simfn.PrepareBlock(col, r.fe)
+	block, err := simfn.PrepareBlockCtx(ctx, col, r.fe)
+	if err != nil {
+		return nil, err
+	}
+	matrices, err := simfn.ComputeAllCtx(ctx, block, r.funcs)
+	if err != nil {
+		return nil, err
+	}
 	return &Prepared{
 		Block:    block,
-		Matrices: simfn.ComputeAll(block, r.funcs),
+		Matrices: matrices,
 		resolver: r,
 	}, nil
 }
@@ -73,6 +90,13 @@ func (r *Resolver) Prepare(col *corpus.Collection) (*Prepared, error) {
 // corresponds to cols[i], and each Prepared is identical to what a serial
 // r.Prepare(cols[i]) would build.
 func (r *Resolver) PrepareAll(cols []*corpus.Collection) ([]*Prepared, error) {
+	return r.PrepareAllCtx(context.Background(), cols)
+}
+
+// PrepareAllCtx is PrepareAll with cancellation: a canceled or timed-out
+// context stops workers from claiming further collections, aborts the
+// in-flight per-collection preparations, and returns ctx.Err().
+func (r *Resolver) PrepareAllCtx(ctx context.Context, cols []*corpus.Collection) ([]*Prepared, error) {
 	out := make([]*Prepared, len(cols))
 	errs := make([]error, len(cols))
 	workers := runtime.GOMAXPROCS(0)
@@ -81,8 +105,11 @@ func (r *Resolver) PrepareAll(cols []*corpus.Collection) ([]*Prepared, error) {
 	}
 	if workers <= 1 {
 		for i, col := range cols {
-			p, err := r.Prepare(col)
+			p, err := r.PrepareCtx(ctx, col)
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
 				return nil, fmt.Errorf("core: preparing %q: %w", col.Name, err)
 			}
 			out[i] = p
@@ -101,7 +128,7 @@ func (r *Resolver) PrepareAll(cols []*corpus.Collection) ([]*Prepared, error) {
 				if i >= len(cols) {
 					return
 				}
-				out[i], errs[i] = r.Prepare(cols[i])
+				out[i], errs[i] = r.PrepareCtx(ctx, cols[i])
 				if errs[i] != nil {
 					// Stop claiming further collections; the error is
 					// reported to the caller, so finishing the rest of
@@ -112,6 +139,9 @@ func (r *Resolver) PrepareAll(cols []*corpus.Collection) ([]*Prepared, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: preparing %q: %w", cols[i].Name, err)
@@ -314,7 +344,14 @@ func (a *Analysis) WeightedAverageOver(funcIDs []string) (*Resolution, error) {
 // and the paper's best-performing combination (best graph over all
 // criteria, then clustering).
 func (r *Resolver) Resolve(col *corpus.Collection) (*Resolution, error) {
-	prep, err := r.Prepare(col)
+	return r.ResolveCtx(context.Background(), col)
+}
+
+// ResolveCtx is Resolve with cancellation: a canceled or timed-out context
+// aborts the preparation stage (feature extraction and pairwise matrices)
+// and returns ctx.Err().
+func (r *Resolver) ResolveCtx(ctx context.Context, col *corpus.Collection) (*Resolution, error) {
+	prep, err := r.PrepareCtx(ctx, col)
 	if err != nil {
 		return nil, err
 	}

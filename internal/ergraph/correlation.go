@@ -1,6 +1,9 @@
 package ergraph
 
-import "math/rand"
+import (
+	"math/rand"
+	"sort"
+)
 
 // Correlation clustering (Bansal, Blum, Chawla 2004) treats each decision-
 // graph edge as a "+" pair and each non-edge as a "−" pair, and seeks the
@@ -78,12 +81,20 @@ func LocalSearch(g *Graph, start []int, maxPasses int) []int {
 			best := labels[v]
 			bestDelta := 0
 			// Candidate targets: clusters of v's neighbors plus a fresh
-			// singleton.
-			cands := map[int]struct{}{freshLabel: {}}
+			// singleton. Candidates are visited in sorted order so that
+			// ties between equally good moves resolve the same way on
+			// every run — map iteration order must not leak into the
+			// clustering.
+			candSet := map[int]struct{}{freshLabel: {}}
 			for nbr := range g.adj[v] {
-				cands[labels[nbr]] = struct{}{}
+				candSet[labels[nbr]] = struct{}{}
 			}
-			for cand := range cands {
+			cands := make([]int, 0, len(candSet))
+			for cand := range candSet {
+				cands = append(cands, cand)
+			}
+			sort.Ints(cands)
+			for _, cand := range cands {
 				if cand == labels[v] {
 					continue
 				}

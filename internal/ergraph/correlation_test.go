@@ -1,0 +1,41 @@
+package ergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCorrelationClusterDeterministic pins run-to-run determinism: with
+// equal seeds the full pivot + local-search pipeline must produce identical
+// labels. (LocalSearch once let map iteration order break ties between
+// equally good moves, which leaked nondeterminism into every
+// correlation-clustered resolution.)
+func TestCorrelationClusterDeterministic(t *testing.T) {
+	build := func(seed int64) *Graph {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph(60)
+		for i := 0; i < 60; i++ {
+			for j := i + 1; j < 60; j++ {
+				// Dense enough that local search faces many tied moves.
+				if rng.Float64() < 0.5 {
+					if err := g.AddEdge(i, j); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		return g
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		g := build(seed)
+		a := CorrelationCluster(g, rand.New(rand.NewSource(99)))
+		for rep := 0; rep < 3; rep++ {
+			b := CorrelationCluster(build(seed), rand.New(rand.NewSource(99)))
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d: labels differ at %d: %d vs %d", seed, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

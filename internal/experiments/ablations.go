@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/pipeline"
 	"repro/internal/simfn"
-	"repro/internal/stats"
 )
 
 // Ablations quantify the design choices DESIGN.md calls out: the region
@@ -24,36 +25,16 @@ type AblationResult struct {
 
 // averageWith runs a strategy over all collections and runs using explicit
 // per-run options (the ablation hook).
-func (pd *preparedDataset) averageWith(cfg Config, opts core.Options, s strategy) (eval.Result, error) {
-	var perRun []eval.Result
-	for run := 0; run < cfg.Runs; run++ {
-		var perCol []eval.Result
-		for i, p := range pd.prepared {
-			a, err := p.RunWith(stats.SplitSeedN(cfg.Seed, run*1000+i), opts)
-			if err != nil {
-				return eval.Result{}, err
-			}
-			res, err := s(a)
-			if err != nil {
-				return eval.Result{}, err
-			}
-			score, err := eval.Evaluate(res.Labels, pd.dataset.Collections[i].GroundTruth())
-			if err != nil {
-				return eval.Result{}, err
-			}
-			perCol = append(perCol, score)
-		}
-		perRun = append(perRun, eval.Aggregate(perCol))
-	}
-	return eval.Aggregate(perRun), nil
+func (pd *preparedDataset) averageWith(ctx context.Context, cfg Config, opts core.Options, s strategy) (eval.Result, error) {
+	return pipeline.AverageRuns(ctx, pd.prepared, pd.truths, cfg.Runs, cfg.runSeeds(), opts, s)
 }
 
 // AblationRegionScheme compares decision criteria pools: threshold only,
 // threshold+equal-width bins, threshold+k-means, and all three (the
 // system's default) — isolating what each region scheme contributes over
 // the plain threshold.
-func AblationRegionScheme(cfg Config) ([]AblationResult, error) {
-	pd, err := www05(cfg)
+func AblationRegionScheme(ctx context.Context, cfg Config) ([]AblationResult, error) {
+	pd, err := www05(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +50,7 @@ func AblationRegionScheme(cfg Config) ([]AblationResult, error) {
 	var out []AblationResult
 	for _, pool := range pools {
 		crit := pool.criteria
-		score, err := pd.averageStrategy(cfg, func(a *core.Analysis) (*core.Resolution, error) {
+		score, err := pd.averageStrategy(ctx, cfg, func(a *core.Analysis) (*core.Resolution, error) {
 			return a.BestOver(simfn.SubsetI10, crit...)
 		})
 		if err != nil {
@@ -81,8 +62,8 @@ func AblationRegionScheme(cfg Config) ([]AblationResult, error) {
 }
 
 // AblationRegionK varies the region count k for both region schemes.
-func AblationRegionK(cfg Config, ks []int) ([]AblationResult, error) {
-	pd, err := www05(cfg)
+func AblationRegionK(ctx context.Context, cfg Config, ks []int) ([]AblationResult, error) {
+	pd, err := www05(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +71,7 @@ func AblationRegionK(cfg Config, ks []int) ([]AblationResult, error) {
 	for _, k := range ks {
 		opts := cfg.options()
 		opts.RegionK = k
-		score, err := pd.averageWith(cfg, opts, bestAnyCriterion(simfn.SubsetI10))
+		score, err := pd.averageWith(ctx, cfg, opts, bestAnyCriterion(simfn.SubsetI10))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation k=%d: %w", k, err)
 		}
@@ -101,8 +82,8 @@ func AblationRegionK(cfg Config, ks []int) ([]AblationResult, error) {
 
 // AblationClustering compares transitive closure against correlation
 // clustering as Algorithm 1's final step.
-func AblationClustering(cfg Config) ([]AblationResult, error) {
-	pd, err := www05(cfg)
+func AblationClustering(ctx context.Context, cfg Config) ([]AblationResult, error) {
+	pd, err := www05(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +91,7 @@ func AblationClustering(cfg Config) ([]AblationResult, error) {
 	for _, m := range []core.ClusteringMethod{core.TransitiveClosure, core.CorrelationClustering} {
 		opts := cfg.options()
 		opts.Clustering = m
-		score, err := pd.averageWith(cfg, opts, bestAnyCriterion(simfn.SubsetI10))
+		score, err := pd.averageWith(ctx, cfg, opts, bestAnyCriterion(simfn.SubsetI10))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", m, err)
 		}
@@ -120,8 +101,8 @@ func AblationClustering(cfg Config) ([]AblationResult, error) {
 }
 
 // AblationTrainFraction varies the labeled fraction (the paper fixes 10%).
-func AblationTrainFraction(cfg Config, fractions []float64) ([]AblationResult, error) {
-	pd, err := www05(cfg)
+func AblationTrainFraction(ctx context.Context, cfg Config, fractions []float64) ([]AblationResult, error) {
+	pd, err := www05(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +110,7 @@ func AblationTrainFraction(cfg Config, fractions []float64) ([]AblationResult, e
 	for _, f := range fractions {
 		opts := cfg.options()
 		opts.TrainFraction = f
-		score, err := pd.averageWith(cfg, opts, bestAnyCriterion(simfn.SubsetI10))
+		score, err := pd.averageWith(ctx, cfg, opts, bestAnyCriterion(simfn.SubsetI10))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation train=%v: %w", f, err)
 		}
@@ -141,8 +122,8 @@ func AblationTrainFraction(cfg Config, fractions []float64) ([]AblationResult, e
 // AblationCombination compares the three combination methods of Section
 // IV-B: best-graph selection (the paper's winner), the accuracy-weighted
 // average, and plain majority voting.
-func AblationCombination(cfg Config) ([]AblationResult, error) {
-	pd, err := www05(cfg)
+func AblationCombination(ctx context.Context, cfg Config) ([]AblationResult, error) {
+	pd, err := www05(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +137,7 @@ func AblationCombination(cfg Config) ([]AblationResult, error) {
 	}
 	var out []AblationResult
 	for _, m := range methods {
-		score, err := pd.averageStrategy(cfg, m.s)
+		score, err := pd.averageStrategy(ctx, cfg, m.s)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", m.name, err)
 		}

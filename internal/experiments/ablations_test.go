@@ -30,7 +30,7 @@ func TestAblationRegionScheme(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-dataset experiment")
 	}
-	res, err := AblationRegionScheme(ablationTestCfg())
+	res, err := AblationRegionScheme(t.Context(), ablationTestCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestAblationRegionK(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-dataset experiment")
 	}
-	res, err := AblationRegionK(ablationTestCfg(), []int{5, 10})
+	res, err := AblationRegionK(t.Context(), ablationTestCfg(), []int{5, 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,13 +59,13 @@ func TestAblationClusteringAndCombination(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-dataset experiment")
 	}
-	res, err := AblationClustering(ablationTestCfg())
+	res, err := AblationClustering(t.Context(), ablationTestCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkResults(t, res, []string{"transitive-closure", "correlation-clustering"})
 
-	res, err = AblationCombination(ablationTestCfg())
+	res, err = AblationCombination(t.Context(), ablationTestCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestAblationTrainFraction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-dataset experiment")
 	}
-	res, err := AblationTrainFraction(ablationTestCfg(), []float64{0.05, 0.20})
+	res, err := AblationTrainFraction(t.Context(), ablationTestCfg(), []float64{0.05, 0.20})
 	if err != nil {
 		t.Fatal(err)
 	}

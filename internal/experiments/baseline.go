@@ -1,12 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/eval"
 	"repro/internal/simfn"
-	"repro/internal/stats"
 	"repro/internal/swoosh"
 )
 
@@ -16,38 +15,30 @@ import (
 // training sample the framework sees (term-cosine and concept-cosine
 // thresholds via the framework's threshold learner; two shared entity
 // mentions as the entity path), so the comparison is information-fair.
-func BaselineComparison(cfg Config) ([]AblationResult, error) {
-	pd, err := www05(cfg)
+func BaselineComparison(ctx context.Context, cfg Config) ([]AblationResult, error) {
+	pd, err := www05(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	framework, err := pd.averageStrategy(cfg, bestAnyCriterion(simfn.SubsetI10))
+	framework, err := pd.averageStrategy(ctx, cfg, bestAnyCriterion(simfn.SubsetI10))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: framework: %w", err)
 	}
 
-	var perRun []eval.Result
-	for run := 0; run < cfg.Runs; run++ {
-		var perCol []eval.Result
-		for i, p := range pd.prepared {
-			a, err := p.Run(stats.SplitSeedN(cfg.Seed, run*1000+i))
-			if err != nil {
-				return nil, err
-			}
-			labels, err := rswooshResolve(p, a)
-			if err != nil {
-				return nil, err
-			}
-			score, err := eval.Evaluate(labels, pd.dataset.Collections[i].GroundTruth())
-			if err != nil {
-				return nil, err
-			}
-			perCol = append(perCol, score)
+	// R-Swoosh plugs into the pipeline's combine + cluster stage like any
+	// other strategy: it reads the analysis' training sample for its
+	// thresholds and resolves the prepared block directly.
+	baseline, err := pd.averageStrategy(ctx, cfg, func(a *core.Analysis) (*core.Resolution, error) {
+		labels, err := rswooshResolve(a.Prepared, a)
+		if err != nil {
+			return nil, err
 		}
-		perRun = append(perRun, eval.Aggregate(perCol))
+		return &core.Resolution{Labels: labels, Source: "rswoosh"}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: baseline: %w", err)
 	}
-	baseline := eval.Aggregate(perRun)
 
 	return []AblationResult{
 		{Name: "framework-C10", Score: framework},

@@ -8,11 +8,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/pipeline"
 	"repro/internal/simfn"
 	"repro/internal/stats"
 )
@@ -47,73 +49,68 @@ func (c Config) options() core.Options {
 	return opts
 }
 
+// runSeeds derives the training seed of (run, block), matching the paper's
+// independent draws across runs and names.
+func (c Config) runSeeds() func(run, block int) int64 {
+	seed := c.Seed
+	return func(run, block int) int64 { return stats.SplitSeedN(seed, run*1000+block) }
+}
+
 // preparedDataset caches the expensive per-collection preparation so the
 // run loop only redraws training samples.
 type preparedDataset struct {
 	dataset  *corpus.Dataset
 	prepared []*core.Prepared
+	truths   [][]int
 }
 
-func prepareDataset(cfg Config, d *corpus.Dataset) (*preparedDataset, error) {
-	r, err := core.New(cfg.options())
+func prepareDataset(ctx context.Context, cfg Config, d *corpus.Dataset) (*preparedDataset, error) {
+	pl, err := pipeline.New(pipeline.Config{Options: cfg.options()})
 	if err != nil {
 		return nil, err
 	}
-	// Per-name blocks are independent; prepare them concurrently so the
-	// Figure 2/3 and Table II/III drivers saturate the machine.
-	prepared, err := r.PrepareAll(d.Collections)
+	// The pipeline's default exact-name block stage keeps each per-name
+	// collection as one block and prepares the independent blocks
+	// concurrently, so the Figure 2/3 and Table II/III drivers saturate
+	// the machine.
+	blocks, prepared, err := pl.Prepare(ctx, d.Collections)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return &preparedDataset{dataset: d, prepared: prepared}, nil
+	truths := make([][]int, len(blocks))
+	for i, b := range blocks {
+		truths[i] = b.GroundTruth()
+	}
+	return &preparedDataset{dataset: d, prepared: prepared, truths: truths}, nil
 }
 
 // www05 generates and prepares the synthetic WWW'05 dataset.
-func www05(cfg Config) (*preparedDataset, error) {
+func www05(ctx context.Context, cfg Config) (*preparedDataset, error) {
 	d, err := corpus.WWW05Profile().Generate(cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return prepareDataset(cfg, d)
+	return prepareDataset(ctx, cfg, d)
 }
 
 // wepsACL generates the synthetic WePS dataset and keeps the 10 reported
 // ACL-style names.
-func wepsACL(cfg Config) (*preparedDataset, error) {
+func wepsACL(ctx context.Context, cfg Config) (*preparedDataset, error) {
 	d, err := corpus.WePSProfile().Generate(cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return prepareDataset(cfg, d.Subset(corpus.WePSACLNames))
+	return prepareDataset(ctx, cfg, d.Subset(corpus.WePSACLNames))
 }
 
-// strategy evaluates one resolution strategy on one analysis.
-type strategy func(a *core.Analysis) (*core.Resolution, error)
+// strategy evaluates one resolution strategy on one analysis — the
+// pipeline's combine + cluster stage.
+type strategy = pipeline.Strategy
 
 // averageStrategy runs a strategy over all collections and runs, returning
 // the macro-averaged metrics.
-func (pd *preparedDataset) averageStrategy(cfg Config, s strategy) (eval.Result, error) {
-	var perRun []eval.Result
-	for run := 0; run < cfg.Runs; run++ {
-		var perCol []eval.Result
-		for i, p := range pd.prepared {
-			a, err := p.Run(stats.SplitSeedN(cfg.Seed, run*1000+i))
-			if err != nil {
-				return eval.Result{}, err
-			}
-			res, err := s(a)
-			if err != nil {
-				return eval.Result{}, err
-			}
-			score, err := eval.Evaluate(res.Labels, pd.dataset.Collections[i].GroundTruth())
-			if err != nil {
-				return eval.Result{}, err
-			}
-			perCol = append(perCol, score)
-		}
-		perRun = append(perRun, eval.Aggregate(perCol))
-	}
-	return eval.Aggregate(perRun), nil
+func (pd *preparedDataset) averageStrategy(ctx context.Context, cfg Config, s strategy) (eval.Result, error) {
+	return pipeline.AverageRuns(ctx, pd.prepared, pd.truths, cfg.Runs, cfg.runSeeds(), cfg.options(), s)
 }
 
 // Strategy constructors shared by Table II and the figures.

@@ -13,7 +13,7 @@ func tinyConfig() Config {
 }
 
 func TestFigure1(t *testing.T) {
-	f, err := Figure1(tinyConfig())
+	f, err := Figure1(t.Context(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestFigure2ShapeOnSubset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-dataset experiment")
 	}
-	f, err := Figure2(tinyConfig())
+	f, err := Figure2(t.Context(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestTableIIStructure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-dataset experiment")
 	}
-	table, err := TableII(tinyConfig())
+	table, err := TableII(t.Context(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestTableIIIStructure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-dataset experiment")
 	}
-	table, err := TableIII(tinyConfig())
+	table, err := TableIII(t.Context(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,11 +185,11 @@ func TestConfigs(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, err := Figure1(tinyConfig())
+	a, err := Figure1(t.Context(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Figure1(tinyConfig())
+	b, err := Figure1(t.Context(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,7 +32,7 @@ type Figure1Result struct {
 // Figure1 reproduces Figure 1: fit k-means regions to F3's training
 // similarity values on the "cohen" collection and estimate per-region link
 // accuracy.
-func Figure1(cfg Config) (*Figure1Result, error) {
+func Figure1(ctx context.Context, cfg Config) (*Figure1Result, error) {
 	const funcID, name = "F3", "cohen"
 	d, err := corpus.WWW05Profile().Generate(cfg.Seed)
 	if err != nil {
@@ -41,7 +42,7 @@ func Figure1(cfg Config) (*Figure1Result, error) {
 	if len(sub.Collections) != 1 {
 		return nil, fmt.Errorf("experiments: collection %q missing from WWW'05 profile", name)
 	}
-	pd, err := prepareDataset(cfg, sub)
+	pd, err := prepareDataset(ctx, cfg, sub)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,34 +24,34 @@ var figureColumns = []string{"Fp-measure", "F-measure", "RandIndex"}
 
 // Figure2 reproduces Figure 2: per-function and combined performance on
 // the whole WWW'05 dataset.
-func Figure2(cfg Config) (*FunctionFigure, error) {
-	pd, err := www05(cfg)
+func Figure2(ctx context.Context, cfg Config) (*FunctionFigure, error) {
+	pd, err := www05(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return functionFigure(cfg, pd, "Figure 2: WWW results")
+	return functionFigure(ctx, cfg, pd, "Figure 2: WWW results")
 }
 
 // Figure3 reproduces Figure 3: per-function and combined performance on
 // the WePS dataset (10 ACL-style names).
-func Figure3(cfg Config) (*FunctionFigure, error) {
-	pd, err := wepsACL(cfg)
+func Figure3(ctx context.Context, cfg Config) (*FunctionFigure, error) {
+	pd, err := wepsACL(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return functionFigure(cfg, pd, "Figure 3: WEPS results")
+	return functionFigure(ctx, cfg, pd, "Figure 3: WEPS results")
 }
 
-func functionFigure(cfg Config, pd *preparedDataset, title string) (*FunctionFigure, error) {
+func functionFigure(ctx context.Context, cfg Config, pd *preparedDataset, title string) (*FunctionFigure, error) {
 	table := eval.NewTable(title, figureColumns...)
 	for _, id := range allFunctionIDs {
-		r, err := pd.averageStrategy(cfg, singleFunction(id))
+		r, err := pd.averageStrategy(ctx, cfg, singleFunction(id))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", id, err)
 		}
 		table.AddRow(id, resultCells(r))
 	}
-	combined, err := pd.averageStrategy(cfg, bestAnyCriterion(allFunctionIDs))
+	combined, err := pd.averageStrategy(ctx, cfg, bestAnyCriterion(allFunctionIDs))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: combined: %w", err)
 	}

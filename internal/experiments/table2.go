@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/eval"
@@ -35,27 +36,27 @@ var RelatedWork = map[string]string{
 
 // TableII reproduces Table II on both synthetic datasets. Rows are keyed
 // "dataset/metric" ("WWW05/Fp-measure", …) exactly matching PaperTableII.
-func TableII(cfg Config) (*eval.Table, error) {
+func TableII(ctx context.Context, cfg Config) (*eval.Table, error) {
 	table := eval.NewTable("Table II: comparison of results", tableIIColumns...)
 
-	www, err := www05(cfg)
+	www, err := www05(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := tableIIRows(cfg, table, www, "WWW05"); err != nil {
+	if err := tableIIRows(ctx, cfg, table, www, "WWW05"); err != nil {
 		return nil, err
 	}
-	weps, err := wepsACL(cfg)
+	weps, err := wepsACL(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := tableIIRows(cfg, table, weps, "WePS"); err != nil {
+	if err := tableIIRows(ctx, cfg, table, weps, "WePS"); err != nil {
 		return nil, err
 	}
 	return table, nil
 }
 
-func tableIIRows(cfg Config, table *eval.Table, pd *preparedDataset, dataset string) error {
+func tableIIRows(ctx context.Context, cfg Config, table *eval.Table, pd *preparedDataset, dataset string) error {
 	type col struct {
 		name string
 		s    strategy
@@ -74,7 +75,7 @@ func tableIIRows(cfg Config, table *eval.Table, pd *preparedDataset, dataset str
 		"Fp-measure": {}, "F-measure": {}, "RandIndex": {},
 	}
 	for _, c := range cols {
-		r, err := pd.averageStrategy(cfg, c.s)
+		r, err := pd.averageStrategy(ctx, cfg, c.s)
 		if err != nil {
 			return fmt.Errorf("experiments: %s/%s: %w", dataset, c.name, err)
 		}

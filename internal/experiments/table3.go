@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -17,8 +18,8 @@ var tableIIIColumns = append(append([]string{}, simfn.SubsetI10...), "C10", "W")
 // individual WWW'05 name by each individual function (threshold criterion),
 // by the best-criterion combination (C10) and by the weighted average (W),
 // averaged over cfg.Runs training draws.
-func TableIII(cfg Config) (*eval.Table, error) {
-	pd, err := www05(cfg)
+func TableIII(ctx context.Context, cfg Config) (*eval.Table, error) {
+	pd, err := www05(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -30,6 +31,9 @@ func TableIII(cfg Config) (*eval.Table, error) {
 		cells := make(map[string]float64, len(tableIIIColumns))
 
 		for run := 0; run < cfg.Runs; run++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			a, err := p.Run(stats.SplitSeedN(cfg.Seed, run*1000+i))
 			if err != nil {
 				return nil, err

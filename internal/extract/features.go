@@ -1,6 +1,8 @@
 package extract
 
 import (
+	"context"
+
 	"repro/internal/textsim"
 )
 
@@ -65,6 +67,27 @@ func (fe *FeatureExtractor) Extract(text, url, queryName string) DocumentFeature
 	f.ClosestName = closestName(persons, queryName)
 	f.OtherPersons = excludeQueryName(persons, queryName)
 	return f
+}
+
+// Page is the raw input of a batch extraction: one web page's text and URL.
+type Page struct {
+	Text, URL string
+}
+
+// ExtractAll computes the feature bundle for every page of one blocking
+// unit, checking the context between documents so a canceled or timed-out
+// context aborts a long extraction promptly with ctx.Err(). It is the
+// context-aware entry point the resolution pipeline uses; per-page results
+// are identical to calling Extract on each page.
+func (fe *FeatureExtractor) ExtractAll(ctx context.Context, pages []Page, queryName string) ([]DocumentFeatures, error) {
+	out := make([]DocumentFeatures, len(pages))
+	for i, p := range pages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = fe.Extract(p.Text, p.URL, queryName)
+	}
+	return out, nil
 }
 
 // closestName returns the person mention with the highest name similarity

@@ -1,0 +1,40 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// BenchmarkPipelineResolve runs the full streaming pipeline (block →
+// prepare → analyze → combine → cluster → score) end to end over a small
+// multi-collection dataset and reports document throughput.
+func BenchmarkPipelineResolve(b *testing.B) {
+	var cols []*corpus.Collection
+	totalDocs := 0
+	for i := 0; i < 4; i++ {
+		col, err := corpus.GenerateCollection(corpus.CollectionConfig{
+			Name: fmt.Sprintf("name%d", i), NumDocs: 40, NumPersonas: 4,
+			Noise: 0.5, MissingInfo: 0.25, Spurious: 0.3, Seed: int64(100 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cols = append(cols, col)
+		totalDocs += len(col.Docs)
+	}
+	pl, err := New(Config{Score: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Run(ctx, cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(totalDocs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+}

@@ -1,0 +1,178 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/blocking"
+	"repro/internal/corpus"
+	"repro/internal/ergraph"
+)
+
+// Blocker is the pipeline's block stage: it re-partitions ingested
+// collections into the resolution blocks the pairwise stages run over. The
+// paper blocks by exact person name; a Blocker generalizes that to any
+// candidate-pair scheme.
+type Blocker interface {
+	// Block returns the resolution blocks in deterministic order. Every
+	// returned collection must validate (dense doc IDs, in-range persona
+	// labels).
+	Block(ctx context.Context, cols []*corpus.Collection) ([]*corpus.Collection, error)
+}
+
+// KeyFunc derives the blocking keys of one document. The default keys a
+// document by the name its collection was retrieved for — the paper's "all
+// pages retrieved for one name" scheme. Richer key functions (extracted
+// person names, URL hosts, …) trade reduction for recall.
+type KeyFunc func(col *corpus.Collection, doc corpus.Document) []string
+
+// collectionNameKey is the default KeyFunc.
+func collectionNameKey(col *corpus.Collection, _ corpus.Document) []string {
+	return []string{col.Name}
+}
+
+// SchemeBlocker adapts any blocking.Scheme into the pipeline's block
+// stage: all ingested documents become records, the scheme generates
+// candidate pairs, and the connected components of the candidate graph
+// become resolution blocks (documents in no pair resolve as singleton
+// blocks). Blocks are ordered by their first document in ingest order, and
+// a block that reassembles an entire ingested collection reuses it
+// verbatim — so exact-key blocking over collection names reproduces the
+// ingested collections bit for bit.
+type SchemeBlocker struct {
+	// Scheme generates the candidate pairs; nil selects ExactKey.
+	Scheme blocking.Scheme
+	// Keys derives each document's blocking keys; nil selects the
+	// collection name.
+	Keys KeyFunc
+}
+
+// NewSchemeBlocker wraps a candidate-pair scheme with the default keys.
+func NewSchemeBlocker(s blocking.Scheme) SchemeBlocker {
+	return SchemeBlocker{Scheme: s}
+}
+
+// DefaultBlocker is the paper's scheme: exact-key blocking over collection
+// names.
+func DefaultBlocker() Blocker { return NewSchemeBlocker(blocking.ExactKey{}) }
+
+// ParseBlocker maps a CLI/API scheme name ("exact", "token", …) to a
+// blocker over the default document keys.
+func ParseBlocker(name string) (Blocker, error) {
+	scheme, err := blocking.ParseScheme(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewSchemeBlocker(scheme), nil
+}
+
+// docRef locates one flattened document.
+type docRef struct {
+	col, doc int
+}
+
+// Block implements Blocker.
+func (sb SchemeBlocker) Block(ctx context.Context, cols []*corpus.Collection) ([]*corpus.Collection, error) {
+	scheme := sb.Scheme
+	if scheme == nil {
+		scheme = blocking.ExactKey{}
+	}
+	keys := sb.Keys
+	if keys == nil {
+		keys = collectionNameKey
+	}
+
+	var refs []docRef
+	var records []blocking.Record
+	for ci, col := range cols {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for di := range col.Docs {
+			records = append(records, blocking.Record{ID: len(refs), Keys: keys(col, col.Docs[di])})
+			refs = append(refs, docRef{col: ci, doc: di})
+		}
+	}
+
+	pairs := scheme.Candidates(records)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	uf := ergraph.NewUnionFind(len(refs))
+	for _, p := range pairs {
+		uf.Union(p.A, p.B)
+	}
+
+	// Components in order of their smallest member; members ascend because
+	// the flattened indices are scanned in order.
+	comp := make(map[int]int)
+	var members [][]int
+	for i := range refs {
+		root := uf.Find(i)
+		slot, ok := comp[root]
+		if !ok {
+			slot = len(members)
+			comp[root] = slot
+			members = append(members, nil)
+		}
+		members[slot] = append(members[slot], i)
+	}
+
+	blocks := make([]*corpus.Collection, 0, len(members))
+	for _, m := range members {
+		blocks = append(blocks, sb.assemble(cols, refs, m))
+	}
+	return blocks, nil
+}
+
+// assemble builds one block collection from flattened member indices. A
+// component that covers exactly one whole ingested collection reuses it
+// verbatim; anything else (a split, or a cross-collection merge) gets
+// re-indexed documents and densely remapped persona labels.
+func (sb SchemeBlocker) assemble(cols []*corpus.Collection, refs []docRef, members []int) *corpus.Collection {
+	first := refs[members[0]]
+	src := cols[first.col]
+	if len(members) == len(src.Docs) {
+		whole := true
+		for off, m := range members {
+			if refs[m].col != first.col || refs[m].doc != off {
+				whole = false
+				break
+			}
+		}
+		if whole {
+			return src
+		}
+	}
+
+	// Persona labels from different source collections are unrelated;
+	// remap (source collection, persona) densely in first-seen order.
+	type personaKey struct {
+		col, persona int
+	}
+	personas := make(map[personaKey]int)
+	var names []string
+	seenName := make(map[string]bool)
+	out := &corpus.Collection{}
+	for i, m := range members {
+		ref := refs[m]
+		col := cols[ref.col]
+		if !seenName[col.Name] {
+			seenName[col.Name] = true
+			names = append(names, col.Name)
+		}
+		doc := col.Docs[ref.doc]
+		pk := personaKey{col: ref.col, persona: doc.PersonaID}
+		label, ok := personas[pk]
+		if !ok {
+			label = len(personas)
+			personas[pk] = label
+		}
+		doc.ID = i
+		doc.PersonaID = label
+		out.Docs = append(out.Docs, doc)
+	}
+	out.Name = strings.Join(names, "+")
+	out.NumPersonas = len(personas)
+	return out
+}

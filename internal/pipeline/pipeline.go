@@ -1,0 +1,350 @@
+// Package pipeline composes entity resolution as a staged, streaming
+// pipeline:
+//
+//	Ingest → Block → Prepare → Analyze → Combine → Cluster → Report
+//
+// Ingest hands raw collections to a pluggable Blocker (any candidate-pair
+// scheme from internal/blocking), which re-partitions the documents into
+// resolution blocks. Blocks then flow through bounded channels: a worker
+// pool prepares each block (feature extraction, TF-IDF, all pairwise
+// similarity matrices) and streams the prepared blocks straight into the
+// analysis stage (training draw, decision graphs), where a Strategy runs
+// the combine and cluster steps and the report stage scores the result —
+// no all-then-all barrier between preparation and analysis, so analysis of
+// early blocks overlaps preparation of late ones.
+//
+// Every stage takes a context.Context threaded down through core.Resolver,
+// simfn.ComputeAllCtx and extract.ExtractAll, so cancellation or a timeout
+// aborts an in-flight run mid-extraction or mid-matrix and Run returns
+// ctx.Err().
+//
+// With the default configuration (exact-key blocking over collection
+// names, best-any-criterion strategy) the pipeline reproduces the classic
+// per-collection Resolver path bit for bit.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/stats"
+)
+
+// Config assembles a Pipeline from its pluggable stages. Zero fields
+// select defaults that reproduce the paper's setup.
+type Config struct {
+	// Options configures the resolver core. Zero-valued fields default
+	// individually: empty FunctionIDs, TrainFraction 0 and RegionK 0 take
+	// the corresponding core.DefaultOptions values; the zero Clustering
+	// already is the default transitive closure, and a zero Seed is kept
+	// (it is a valid seed).
+	Options core.Options
+	// Blocker re-partitions ingested collections into resolution blocks;
+	// nil selects exact-key blocking over collection names, the paper's
+	// scheme, which keeps each collection as one block.
+	Blocker Blocker
+	// Strategy runs the combine and cluster stages on each analysis; nil
+	// selects BestAnyCriterion, the paper's best-performing combination.
+	Strategy Strategy
+	// SeedFn derives the per-block training seed from the block index;
+	// nil selects stats.SplitSeedN(Options.Seed, index), giving every
+	// block an independent deterministic draw.
+	SeedFn func(blockIndex int) int64
+	// Workers bounds each stage's worker pool; values < 1 select
+	// GOMAXPROCS.
+	Workers int
+	// Buffer bounds the inter-stage channels; values < 1 select Workers.
+	Buffer int
+	// Score evaluates every resolution against the block's embedded
+	// ground truth and fills Result.Score.
+	Score bool
+}
+
+// Pipeline is an assembled, reusable resolution pipeline. It is safe for
+// concurrent Run calls.
+type Pipeline struct {
+	resolver *core.Resolver
+	blocker  Blocker
+	strategy Strategy
+	seedFn   func(int) int64
+	workers  int
+	buffer   int
+	score    bool
+}
+
+// New validates the configuration and assembles the pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	def := core.DefaultOptions()
+	if len(cfg.Options.FunctionIDs) == 0 {
+		cfg.Options.FunctionIDs = def.FunctionIDs
+	}
+	if cfg.Options.TrainFraction == 0 {
+		cfg.Options.TrainFraction = def.TrainFraction
+	}
+	if cfg.Options.RegionK == 0 {
+		cfg.Options.RegionK = def.RegionK
+	}
+	resolver, err := core.New(cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		resolver: resolver,
+		blocker:  cfg.Blocker,
+		strategy: cfg.Strategy,
+		seedFn:   cfg.SeedFn,
+		workers:  cfg.Workers,
+		buffer:   cfg.Buffer,
+		score:    cfg.Score,
+	}
+	if p.blocker == nil {
+		p.blocker = DefaultBlocker()
+	}
+	if p.strategy == nil {
+		p.strategy = BestAnyCriterion()
+	}
+	if p.seedFn == nil {
+		seed := cfg.Options.Seed
+		p.seedFn = func(i int) int64 { return stats.SplitSeedN(seed, i) }
+	}
+	if p.workers < 1 {
+		p.workers = runtime.GOMAXPROCS(0)
+	}
+	if p.buffer < 1 {
+		p.buffer = p.workers
+	}
+	return p, nil
+}
+
+// Options returns a copy of the resolver options the pipeline runs with.
+func (p *Pipeline) Options() core.Options { return p.resolver.Options() }
+
+// Result is the report-stage output for one block, in block order.
+type Result struct {
+	// Index is the block's position in the Blocker's output.
+	Index int
+	// Block is the resolved block (documents re-grouped by the Blocker).
+	Block *corpus.Collection
+	// Resolution carries the cluster labels and their provenance.
+	Resolution *core.Resolution
+	// Score is the evaluation against the block's ground truth; nil
+	// unless Config.Score is set.
+	Score *eval.Result
+}
+
+// prepped carries one prepared block from the prepare stage to analysis.
+type prepped struct {
+	idx  int
+	prep *core.Prepared
+}
+
+// Run ingests the collections, blocks them, and streams every block
+// through prepare → analyze → combine → cluster → report. Results are in
+// block order and deterministic for a fixed configuration: each block's
+// training seed depends only on its index. A canceled or timed-out context
+// aborts the in-flight stages promptly and Run returns ctx.Err().
+func (p *Pipeline) Run(ctx context.Context, cols []*corpus.Collection) ([]Result, error) {
+	blocks, err := p.blocker.Block(ctx, cols)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(blocks))
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	workers := p.workers
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	blockCh := make(chan int, p.buffer)
+	prepCh := make(chan prepped, p.buffer)
+
+	// Ingest: feed block indices; backpressure comes from the bounded
+	// channel, cancellation from the run context.
+	go func() {
+		defer close(blockCh)
+		for i := range blocks {
+			select {
+			case blockCh <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	// Prepare: extract features and compute all pairwise matrices, then
+	// stream the prepared block into analysis. Blocks too small to train
+	// on resolve trivially and skip the downstream stages.
+	var prepWG sync.WaitGroup
+	prepWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer prepWG.Done()
+			for i := range blockCh {
+				if runCtx.Err() != nil {
+					return
+				}
+				col := blocks[i]
+				if len(col.Docs) < 2 {
+					res, err := p.trivial(i, col)
+					if err != nil {
+						fail(fmt.Errorf("pipeline: block %q: %w", col.Name, err))
+						return
+					}
+					results[i] = res
+					continue
+				}
+				prep, err := p.resolver.PrepareCtx(runCtx, col)
+				if err != nil {
+					fail(fmt.Errorf("pipeline: preparing block %q: %w", col.Name, err))
+					return
+				}
+				select {
+				case prepCh <- prepped{idx: i, prep: prep}:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		prepWG.Wait()
+		close(prepCh)
+	}()
+
+	// Analyze → Combine → Cluster → Report: draw the block's training
+	// sample, build decision graphs, apply the strategy and score.
+	var anWG sync.WaitGroup
+	anWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer anWG.Done()
+			for item := range prepCh {
+				if runCtx.Err() != nil {
+					return
+				}
+				res, err := p.resolveBlock(item.idx, blocks[item.idx], item.prep)
+				if err != nil {
+					fail(fmt.Errorf("pipeline: resolving block %q: %w", blocks[item.idx].Name, err))
+					return
+				}
+				results[item.idx] = res
+			}
+		}()
+	}
+	anWG.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// resolveBlock runs analysis, combination, clustering and scoring for one
+// prepared block.
+func (p *Pipeline) resolveBlock(idx int, col *corpus.Collection, prep *core.Prepared) (Result, error) {
+	a, err := prep.Run(p.seedFn(idx))
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := p.strategy(a)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Index: idx, Block: col, Resolution: res}
+	if p.score {
+		s, err := eval.Evaluate(res.Labels, col.GroundTruth())
+		if err != nil {
+			return Result{}, err
+		}
+		out.Score = &s
+	}
+	return out, nil
+}
+
+// trivial resolves a block too small for training: zero or one documents
+// form at most one entity.
+func (p *Pipeline) trivial(idx int, col *corpus.Collection) (Result, error) {
+	res := &core.Resolution{Labels: make([]int, len(col.Docs)), Source: "trivial(<2 docs)"}
+	out := Result{Index: idx, Block: col, Resolution: res}
+	if p.score && len(col.Docs) > 0 {
+		s, err := eval.Evaluate(res.Labels, col.GroundTruth())
+		if err != nil {
+			return Result{}, err
+		}
+		out.Score = &s
+	}
+	return out, nil
+}
+
+// Prepare runs only the ingest, block and prepare stages, returning the
+// blocks and their prepared state in block order. Callers that redraw many
+// training samples over one expensive preparation (the experiment drivers)
+// use this entry point and then AverageRuns.
+func (p *Pipeline) Prepare(ctx context.Context, cols []*corpus.Collection) ([]*corpus.Collection, []*core.Prepared, error) {
+	blocks, err := p.blocker.Block(ctx, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	prepared, err := p.resolver.PrepareAllCtx(ctx, blocks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return blocks, prepared, nil
+}
+
+// AverageRuns runs a strategy over every prepared block for several
+// independent training draws and macro-averages the scores — the shared
+// report-stage loop of the experiment drivers. truths[i] is block i's
+// ground truth, seeds derives the training seed for (run, block), and opts
+// are the per-run analysis options (region count, clustering, training
+// fraction). The context is checked between blocks so cancellation aborts
+// a long sweep promptly with ctx.Err().
+func AverageRuns(ctx context.Context, prepared []*core.Prepared, truths [][]int, runs int,
+	seeds func(run, block int) int64, opts core.Options, strat Strategy) (eval.Result, error) {
+
+	var perRun []eval.Result
+	for run := 0; run < runs; run++ {
+		var perCol []eval.Result
+		for i, prep := range prepared {
+			if err := ctx.Err(); err != nil {
+				return eval.Result{}, err
+			}
+			a, err := prep.RunWith(seeds(run, i), opts)
+			if err != nil {
+				return eval.Result{}, err
+			}
+			res, err := strat(a)
+			if err != nil {
+				return eval.Result{}, err
+			}
+			score, err := eval.Evaluate(res.Labels, truths[i])
+			if err != nil {
+				return eval.Result{}, err
+			}
+			perCol = append(perCol, score)
+		}
+		perRun = append(perRun, eval.Aggregate(perCol))
+	}
+	return eval.Aggregate(perRun), nil
+}

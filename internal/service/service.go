@@ -1,0 +1,273 @@
+// Package service is the HTTP layer over the resolution pipeline: a JSON
+// collection in, clusters and quality scores out, with per-request
+// timeouts that cancel the in-flight pipeline (mid-extraction or
+// mid-matrix) through the request context. `ersolve serve` mounts it; the
+// handler is also usable inside any other mux.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/pipeline"
+)
+
+// Config bounds the server's per-request resources.
+type Config struct {
+	// DefaultTimeout caps requests that specify no timeout; zero selects
+	// 30 seconds.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the timeout a request may ask for; zero selects
+	// DefaultTimeout.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds the request body; zero selects 32 MiB.
+	MaxBodyBytes int64
+}
+
+// Server resolves posted collections through the streaming pipeline.
+type Server struct {
+	cfg Config
+}
+
+// New applies the config defaults and returns a server.
+func New(cfg Config) *Server {
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = cfg.DefaultTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	return &Server{cfg: cfg}
+}
+
+// Handler returns the service mux: POST /v1/resolve and GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/resolve", s.handleResolve)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// ResolveRequest is the /v1/resolve body. Because the resolution knobs are
+// optional, a dataset file written by ergen (`{"label": …,
+// "collections": […]}`) is itself a valid request.
+type ResolveRequest struct {
+	// Label optionally names the dataset; echoed in the response.
+	Label string `json:"label,omitempty"`
+	// Collections are the blocks to resolve, in ergen's JSON format.
+	Collections []*corpus.Collection `json:"collections"`
+	// Strategy is the combine stage: best | threshold | weighted |
+	// majority (default best).
+	Strategy string `json:"strategy,omitempty"`
+	// Clustering is the final clustering step: closure | correlation
+	// (default closure).
+	Clustering string `json:"clustering,omitempty"`
+	// Blocking re-partitions the posted documents: exact | token |
+	// sortedneighborhood | canopy (default exact, the paper's scheme).
+	Blocking string `json:"blocking,omitempty"`
+	// TrainFraction is the labeled fraction (default 0.10).
+	TrainFraction float64 `json:"train_fraction,omitempty"`
+	// Regions is the accuracy-estimation region count (default 10).
+	Regions int `json:"regions,omitempty"`
+	// Seed drives training-sample selection (default 1).
+	Seed *int64 `json:"seed,omitempty"`
+	// TimeoutMillis caps this request's resolution time; it is clamped to
+	// the server's maximum.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Score controls evaluation against the embedded ground truth
+	// (default true).
+	Score *bool `json:"score,omitempty"`
+}
+
+// BlockScore is one block's evaluation against its ground truth.
+type BlockScore struct {
+	Fp   float64 `json:"fp"`
+	F    float64 `json:"f"`
+	Rand float64 `json:"rand"`
+}
+
+// BlockResult is one resolved block.
+type BlockResult struct {
+	// Name is the block's (possibly merged) collection name.
+	Name string `json:"name"`
+	// Docs is the number of documents in the block.
+	Docs int `json:"docs"`
+	// NumEntities is the number of predicted entities.
+	NumEntities int `json:"num_entities"`
+	// Source describes which combination produced the clustering.
+	Source string `json:"source"`
+	// Labels assigns each document its cluster index.
+	Labels []int `json:"labels"`
+	// Clusters lists the document indices of each entity.
+	Clusters [][]int `json:"clusters"`
+	// Score is present when scoring was requested.
+	Score *BlockScore `json:"score,omitempty"`
+}
+
+// ResolveResponse is the /v1/resolve reply.
+type ResolveResponse struct {
+	Label  string        `json:"label,omitempty"`
+	Blocks []BlockResult `json:"blocks"`
+	// Average macro-averages the per-block scores when more than one
+	// block was scored.
+	Average *BlockScore `json:"average,omitempty"`
+	// ElapsedMillis is the server-side resolution time.
+	ElapsedMillis int64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST a dataset JSON to /v1/resolve"})
+		return
+	}
+	var req ResolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	pl, score, err := s.build(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	results, err := pl.Run(ctx, req.Collections)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout,
+			errorResponse{Error: fmt.Sprintf("resolution exceeded the %v request timeout", timeout)})
+		return
+	case errors.Is(err, context.Canceled):
+		// The client went away; there is nobody to answer.
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+
+	resp := ResolveResponse{Label: req.Label, ElapsedMillis: time.Since(start).Milliseconds()}
+	var scores []eval.Result
+	for _, res := range results {
+		br := BlockResult{
+			Name:        res.Block.Name,
+			Docs:        len(res.Block.Docs),
+			NumEntities: res.Resolution.NumEntities(),
+			Source:      res.Resolution.Source,
+			Labels:      res.Resolution.Labels,
+			Clusters:    clustersOf(res.Resolution.Labels, res.Resolution.NumEntities()),
+		}
+		if score && res.Score != nil {
+			br.Score = &BlockScore{Fp: res.Score.Fp, F: res.Score.F, Rand: res.Score.Rand}
+			scores = append(scores, *res.Score)
+		}
+		resp.Blocks = append(resp.Blocks, br)
+	}
+	if len(scores) > 1 {
+		avg := eval.Aggregate(scores)
+		resp.Average = &BlockScore{Fp: avg.Fp, F: avg.F, Rand: avg.Rand}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// build validates the request and assembles its pipeline.
+func (s *Server) build(req *ResolveRequest) (*pipeline.Pipeline, bool, error) {
+	if len(req.Collections) == 0 {
+		return nil, false, fmt.Errorf("request has no collections")
+	}
+	for _, col := range req.Collections {
+		if err := col.Validate(); err != nil {
+			return nil, false, err
+		}
+	}
+
+	opts := core.DefaultOptions()
+	if req.TrainFraction != 0 {
+		opts.TrainFraction = req.TrainFraction
+	}
+	if req.Regions != 0 {
+		opts.RegionK = req.Regions
+	}
+	if req.Seed != nil {
+		opts.Seed = *req.Seed
+	}
+	if req.Clustering != "" {
+		m, err := core.ParseClusteringMethod(req.Clustering)
+		if err != nil {
+			return nil, false, err
+		}
+		opts.Clustering = m
+	}
+
+	cfg := pipeline.Config{Options: opts, Score: true}
+	if req.Strategy != "" {
+		strat, err := pipeline.ParseStrategy(req.Strategy)
+		if err != nil {
+			return nil, false, err
+		}
+		cfg.Strategy = strat
+	}
+	if req.Blocking != "" {
+		blocker, err := pipeline.ParseBlocker(req.Blocking)
+		if err != nil {
+			return nil, false, err
+		}
+		cfg.Blocker = blocker
+	}
+
+	score := req.Score == nil || *req.Score
+	cfg.Score = score
+	pl, err := pipeline.New(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	return pl, score, nil
+}
+
+// clustersOf inverts a label slice into per-entity member lists.
+func clustersOf(labels []int, numEntities int) [][]int {
+	clusters := make([][]int, numEntities)
+	for doc, label := range labels {
+		if label >= 0 && label < numEntities {
+			clusters[label] = append(clusters[label], doc)
+		}
+	}
+	return clusters
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+func testServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func testCollection(t *testing.T, docs int) *corpus.Collection {
+	t.Helper()
+	col, err := corpus.GenerateCollection(corpus.CollectionConfig{
+		Name: "rivera", NumDocs: docs, NumPersonas: 3,
+		Noise: 0.4, MissingInfo: 0.2, Spurious: 0.2, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func postResolve(t *testing.T, ts *httptest.Server, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/resolve", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestResolveEndpoint(t *testing.T) {
+	ts := testServer(t, Config{})
+	col := testCollection(t, 30)
+
+	// An ergen dataset body with default knobs is a valid request.
+	resp := postResolve(t, ts, corpus.Dataset{Label: "smoke", Collections: []*corpus.Collection{col}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out ResolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Label != "smoke" || len(out.Blocks) != 1 {
+		t.Fatalf("response = %+v", out)
+	}
+	b := out.Blocks[0]
+	if b.Name != "rivera" || b.Docs != 30 || len(b.Labels) != 30 {
+		t.Fatalf("block = %+v", b)
+	}
+	if b.NumEntities < 1 || b.NumEntities > 30 || len(b.Clusters) != b.NumEntities {
+		t.Errorf("entities = %d with %d clusters", b.NumEntities, len(b.Clusters))
+	}
+	members := 0
+	for _, c := range b.Clusters {
+		members += len(c)
+	}
+	if members != 30 {
+		t.Errorf("clusters cover %d docs, want 30", members)
+	}
+	if b.Score == nil || b.Score.Fp <= 0 {
+		t.Errorf("score = %+v, want Fp > 0 by default", b.Score)
+	}
+}
+
+func TestResolveRequestTimeout(t *testing.T) {
+	ts := testServer(t, Config{DefaultTimeout: time.Minute, MaxTimeout: time.Minute})
+	col := testCollection(t, 120)
+
+	resp := postResolve(t, ts, ResolveRequest{
+		Collections:   []*corpus.Collection{col},
+		TimeoutMillis: 1, // fires inside the first block's preparation
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
+	}
+	var out errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Error, "timeout") {
+		t.Errorf("error = %q, want a timeout message", out.Error)
+	}
+}
+
+func TestResolveValidation(t *testing.T) {
+	ts := testServer(t, Config{})
+	col := testCollection(t, 10)
+
+	cases := []struct {
+		name string
+		req  ResolveRequest
+		want string
+	}{
+		{"no collections", ResolveRequest{}, "no collections"},
+		{"bad strategy", ResolveRequest{Collections: []*corpus.Collection{col}, Strategy: "bogus"},
+			"best, threshold, weighted, majority"},
+		{"bad clustering", ResolveRequest{Collections: []*corpus.Collection{col}, Clustering: "bogus"},
+			"closure, correlation"},
+		{"bad blocking", ResolveRequest{Collections: []*corpus.Collection{col}, Blocking: "bogus"},
+			"exact, token, sortedneighborhood, canopy"},
+	}
+	for _, tc := range cases {
+		resp := postResolve(t, ts, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+			continue
+		}
+		var out errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.Error, tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, out.Error, tc.want)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/resolve"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET status = %d, want 405", resp.StatusCode)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("healthz status = %d", resp.StatusCode)
+		}
+	}
+}

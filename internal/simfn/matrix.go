@@ -1,6 +1,7 @@
 package simfn
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -74,7 +75,19 @@ const parallelMinPairs = 2048
 // function of its document pair and is written exactly once, by exactly
 // one worker, so scheduling order cannot affect the values.
 func ComputeMatrix(b *Block, f Func) *Matrix {
-	return computeMatrices(b, []Func{f})[0]
+	return computeMatrices(b, []Func{f}, nil)[0]
+}
+
+// ComputeMatrixCtx is ComputeMatrix with cancellation: workers check the
+// context between matrix rows, so a canceled or timed-out context aborts an
+// in-flight computation mid-matrix and returns ctx.Err(). When the context
+// never fires the result is bit-identical to ComputeMatrix.
+func ComputeMatrixCtx(ctx context.Context, b *Block, f Func) (*Matrix, error) {
+	ms := computeMatrices(b, []Func{f}, ctx.Done())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return ms[0], nil
 }
 
 // ComputeMatrixSerial is the single-goroutine reference implementation of
@@ -93,12 +106,29 @@ func ComputeMatrixSerial(b *Block, f Func) *Matrix {
 // when individual matrices are small. Output is bit-identical to
 // ComputeAllSerial.
 func ComputeAll(b *Block, funcs []Func) map[string]*Matrix {
-	ms := computeMatrices(b, funcs)
+	ms := computeMatrices(b, funcs, nil)
 	out := make(map[string]*Matrix, len(funcs))
 	for i, f := range funcs {
 		out[f.ID] = ms[i]
 	}
 	return out
+}
+
+// ComputeAllCtx is ComputeAll with cancellation: every worker checks the
+// context between (function, row) work units, so a canceled or timed-out
+// context aborts the in-flight matrix computation promptly and returns
+// ctx.Err(). When the context never fires the result is bit-identical to
+// ComputeAll.
+func ComputeAllCtx(ctx context.Context, b *Block, funcs []Func) (map[string]*Matrix, error) {
+	ms := computeMatrices(b, funcs, ctx.Done())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Matrix, len(funcs))
+	for i, f := range funcs {
+		out[f.ID] = ms[i]
+	}
+	return out, nil
 }
 
 // ComputeAllSerial is the single-goroutine reference implementation of
@@ -131,8 +161,10 @@ var extraWorkerSlots = sync.OnceValue(func() chan struct{} {
 // The unit of work is one matrix row: workers claim rows from an atomic
 // counter (dynamic load balancing — early rows of the condensed triangle
 // are longest) and write into disjoint sub-slices of the matrices' backing
-// arrays, so no synchronization of the values themselves is needed.
-func computeMatrices(b *Block, funcs []Func) []*Matrix {
+// arrays, so no synchronization of the values themselves is needed. A
+// non-nil done channel makes workers stop claiming rows once it closes;
+// the caller is then responsible for discarding the partial matrices.
+func computeMatrices(b *Block, funcs []Func, done <-chan struct{}) []*Matrix {
 	n := len(b.Docs)
 	ms := make([]*Matrix, len(funcs))
 	for i := range funcs {
@@ -150,6 +182,13 @@ func computeMatrices(b *Block, funcs []Func) []*Matrix {
 	var next atomic.Int64
 	run := func() {
 		for {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			t := next.Add(1) - 1
 			if t >= totalTasks {
 				return

@@ -19,6 +19,7 @@
 package simfn
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/corpus"
@@ -92,12 +93,31 @@ type Block struct {
 // wordlists. IDF statistics are block-local, mirroring a per-name Lucene
 // index.
 func PrepareBlock(col *corpus.Collection, fe *extract.FeatureExtractor) *Block {
+	b, _ := PrepareBlockCtx(context.Background(), col, fe) // background ctx never cancels
+	return b
+}
+
+// PrepareBlockCtx is PrepareBlock with cancellation: the context is checked
+// between documents during indexing and feature extraction, so a canceled
+// or timed-out context aborts block preparation promptly with ctx.Err().
+// The returned block is identical to PrepareBlock's when the context never
+// fires.
+func PrepareBlockCtx(ctx context.Context, col *corpus.Collection, fe *extract.FeatureExtractor) (*Block, error) {
 	if fe == nil {
 		fe = extract.NewFeatureExtractor(nil, nil)
 	}
 	ix := index.New(nil)
-	for _, d := range col.Docs {
+	pages := make([]extract.Page, len(col.Docs))
+	for i, d := range col.Docs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ix.Add(fmt.Sprintf("%s/%d", col.Name, d.ID), d.Text)
+		pages[i] = extract.Page{Text: d.Text, URL: d.URL}
+	}
+	features, err := fe.ExtractAll(ctx, pages, col.Name)
+	if err != nil {
+		return nil, err
 	}
 	vectors := ix.AllVectors()
 
@@ -108,14 +128,14 @@ func PrepareBlock(col *corpus.Collection, fe *extract.FeatureExtractor) *Block {
 		NumPersonas: col.NumPersonas,
 		Vocab:       textsim.NewVocab(),
 	}
-	for i, d := range col.Docs {
+	for i := range col.Docs {
 		b.Docs[i] = Doc{
-			Features:   fe.Extract(d.Text, d.URL, col.Name),
+			Features:   features[i],
 			TermVector: vectors[i],
 		}
 		b.Docs[i].Pack(b.Vocab)
 	}
-	return b
+	return b, nil
 }
 
 // Func is one pairwise similarity function with its Table I metadata.
