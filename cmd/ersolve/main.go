@@ -10,11 +10,18 @@
 //	        [-blocking exact|token|sortedneighborhood|canopy]
 //	        [-train 0.10] [-regions 10] [-seed N] [-score] [-members]
 //	ersolve serve [-addr :8476] [-timeout 30s] [-max-body 33554432]
+//	        [-queue 64] [-drain 10s]
 //
 // The serve mode accepts POST /v1/resolve with an ergen dataset JSON body
 // (plus optional "strategy", "clustering", "blocking", "timeout_ms", …
 // fields) and answers with clusters and scores; requests are canceled
-// mid-resolution when their timeout fires.
+// mid-resolution when their timeout fires. It additionally owns a
+// document store fed asynchronously through POST /v1/collections (ingest
+// jobs, tracked via GET /v1/jobs/{id}) and resolved via POST
+// /v1/resolve/incremental, which re-prepares only blocks whose membership
+// changed since the previous run. On SIGINT/SIGTERM the server drains
+// in-flight requests and queued ingest jobs for up to -drain before
+// canceling what remains.
 package main
 
 import (
@@ -155,19 +162,28 @@ func run(ctx context.Context, in string, strategy pipeline.Strategy, clustering 
 }
 
 // runServe starts the HTTP service layer and blocks until the listener
-// fails or an interrupt triggers a graceful shutdown.
+// fails or an interrupt triggers a graceful shutdown: in-flight requests
+// and queued ingest jobs get the drain window to finish, then are
+// canceled.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("ersolve serve", flag.ExitOnError)
 	var (
 		addr    = fs.String("addr", ":8476", "listen address")
 		timeout = fs.Duration("timeout", 30*time.Second, "maximum per-request resolution time")
 		maxBody = fs.Int64("max-body", 32<<20, "maximum request body bytes")
+		queue   = fs.Int("queue", 64, "ingest job backlog size")
+		drain   = fs.Duration("drain", 10*time.Second, "shutdown drain window for in-flight work")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := service.New(service.Config{DefaultTimeout: *timeout, MaxTimeout: *timeout, MaxBodyBytes: *maxBody})
+	srv := service.New(service.Config{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *timeout,
+		MaxBodyBytes:   *maxBody,
+		QueueBuffer:    *queue,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -175,12 +191,21 @@ func runServe(args []string) error {
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		fmt.Fprintf(os.Stderr, "ersolve: shutting down, draining for up to %v\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		done <- httpSrv.Shutdown(shutdownCtx)
+		// First stop taking requests and let in-flight handlers finish,
+		// then drain the ingest backlog with whatever window remains.
+		err := httpSrv.Shutdown(shutdownCtx)
+		if cerr := srv.Close(shutdownCtx); err == nil && cerr != nil {
+			err = fmt.Errorf("draining ingest jobs: %w", cerr)
+		}
+		done <- err
 	}()
 
-	fmt.Fprintf(os.Stderr, "ersolve: serving POST /v1/resolve on %s (timeout %v)\n", *addr, *timeout)
+	fmt.Fprintf(os.Stderr,
+		"ersolve: serving POST /v1/resolve, /v1/collections, /v1/resolve/incremental on %s (timeout %v)\n",
+		*addr, *timeout)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

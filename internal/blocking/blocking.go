@@ -294,6 +294,62 @@ func sortedPairs(set map[Pair]struct{}) []Pair {
 	return out
 }
 
+// The membership-fingerprint helpers below give blocks a stable identity
+// across runs: hash each member's identifying parts with HashKey, combine
+// the member hashes in block order with CombineIDs (or hash string keys
+// directly with BlockID). Incremental resolution keys its per-block cache
+// on the result — a block whose ID is unchanged since the previous run
+// has identical members (up to 64-bit hash collision) and can reuse the
+// previous run's prepared state and clustering. All three fold FNV-1a
+// with a separator per part, so ("ab","c") and ("a","bc") fingerprint
+// differently.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// foldString folds s plus a part separator into h.
+func foldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	// Part separator, folded like one extra byte.
+	h ^= 0xFF
+	h *= fnvPrime64
+	return h
+}
+
+// HashKey fingerprints one record or document from its identifying parts.
+func HashKey(parts ...string) uint64 {
+	h := uint64(fnvOffset64)
+	for _, p := range parts {
+		h = foldString(h, p)
+	}
+	return h
+}
+
+// CombineIDs combines per-member hashes, in member order, into a block
+// identity.
+func CombineIDs(memberHashes []uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for _, m := range memberHashes {
+		for s := 0; s < 64; s += 8 {
+			h ^= (m >> s) & 0xFF
+			h *= fnvPrime64
+		}
+		h ^= 0xFF
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// BlockID fingerprints a block's membership from string member keys.
+func BlockID(memberKeys []string) uint64 {
+	return HashKey(memberKeys...)
+}
+
 // Stats summarizes a candidate set against ground truth: how many true
 // pairs were retained (pair completeness / recall) and how much of the
 // quadratic comparison space was pruned (reduction ratio).

@@ -201,3 +201,52 @@ func TestSchemesDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestBlockID(t *testing.T) {
+	base := BlockID([]string{"a", "b", "c"})
+	if got := BlockID([]string{"a", "b", "c"}); got != base {
+		t.Errorf("BlockID is not stable: %x vs %x", got, base)
+	}
+	distinct := [][]string{
+		{},
+		{"a"},
+		{"a", "b"},
+		{"a", "b", "c"},
+		{"b", "a"}, // order matters
+		{"ab"},     // separator disambiguates concatenation
+		{"a", "bc"},
+		{"ab", "c"},
+		{"a", "b", "c", ""}, // trailing empty key still changes identity
+	}
+	seen := map[uint64][]string{}
+	for _, keys := range distinct {
+		id := BlockID(keys)
+		if prev, dup := seen[id]; dup {
+			t.Errorf("BlockID collision between %q and %q", prev, keys)
+		}
+		seen[id] = keys
+	}
+	if _, dup := seen[base]; !dup {
+		// {"a","b","c"} is in the distinct set; base must match it.
+		t.Errorf("BlockID(%x) missing from distinct set", base)
+	}
+}
+
+func TestHashKeyAndCombineIDs(t *testing.T) {
+	if HashKey("a", "bc") == HashKey("ab", "c") {
+		t.Error("HashKey does not separate parts")
+	}
+	if HashKey("a", "b", "c") != BlockID([]string{"a", "b", "c"}) {
+		t.Error("BlockID and HashKey disagree on the same parts")
+	}
+	a, b := HashKey("x"), HashKey("y")
+	if CombineIDs([]uint64{a, b}) == CombineIDs([]uint64{b, a}) {
+		t.Error("CombineIDs is order-insensitive")
+	}
+	if CombineIDs([]uint64{a}) == CombineIDs([]uint64{a, a}) {
+		t.Error("CombineIDs ignores multiplicity")
+	}
+	if CombineIDs([]uint64{a, b}) != CombineIDs([]uint64{a, b}) {
+		t.Error("CombineIDs is not stable")
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+)
+
+// IncrementalBatchResult is one batch of the incremental-vs-full sweep:
+// the work and wall time of resolving the corpus incrementally (carrying
+// the previous batch's snapshot) against resolving it from scratch, plus
+// the equivalence check between the two clusterings.
+type IncrementalBatchResult struct {
+	// Batch is the 1-based batch number.
+	Batch int
+	// Docs is the corpus size after this batch arrived.
+	Docs int
+	// Blocks is the number of resolution blocks.
+	Blocks int
+	// Prepared and Reused split the blocks into re-prepared dirty ones
+	// and ones reused from the previous batch's snapshot.
+	Prepared int
+	Reused   int
+	// Incremental and Full are the wall times of the two modes.
+	Incremental time.Duration
+	Full        time.Duration
+	// Match reports whether both modes produced identical clusters — the
+	// paper-level invariant the equivalence harness pins.
+	Match bool
+}
+
+// IncrementalSweep ingests the synthetic WWW'05 dataset in append-only
+// batches the way a crawl delivers: the first batch carries half of every
+// collection, and each later batch completes a different subset of the
+// names, leaving the rest untouched — so the incremental run has clean
+// blocks to reuse. After each batch the corpus is resolved twice:
+// incrementally against the previous batch's snapshot, and fully from
+// scratch. names caps the number of collections (≤ 0 keeps all 12);
+// batches is the number of deliveries.
+func IncrementalSweep(ctx context.Context, cfg Config, batches, names int) ([]IncrementalBatchResult, error) {
+	if batches < 1 {
+		batches = 1
+	}
+	d, err := corpus.WWW05Profile().Generate(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cols := d.Collections
+	if names > 0 && names < len(cols) {
+		cols = cols[:names]
+	}
+
+	opts := cfg.options()
+	opts.Seed = cfg.Seed
+	pl, err := pipeline.New(pipeline.Config{Options: opts})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []IncrementalBatchResult
+	var snap *pipeline.Snapshot
+	for k := 0; k < batches; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch := staggeredBatch(cols, k, batches)
+		docs := 0
+		for _, col := range batch {
+			docs += len(col.Docs)
+		}
+
+		start := time.Now()
+		inc, err := pl.RunIncremental(ctx, batch, snap)
+		if err != nil {
+			return nil, fmt.Errorf("incremental batch %d: %w", k+1, err)
+		}
+		incTime := time.Since(start)
+
+		start = time.Now()
+		full, err := pl.RunIncremental(ctx, batch, nil)
+		if err != nil {
+			return nil, fmt.Errorf("full batch %d: %w", k+1, err)
+		}
+		fullTime := time.Since(start)
+
+		match := len(inc.Results) == len(full.Results)
+		for i := 0; match && i < len(full.Results); i++ {
+			a, b := inc.Results[i].Resolution.Labels, full.Results[i].Resolution.Labels
+			if len(a) != len(b) {
+				match = false
+				break
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					match = false
+					break
+				}
+			}
+		}
+
+		out = append(out, IncrementalBatchResult{
+			Batch:       k + 1,
+			Docs:        docs,
+			Blocks:      inc.Stats.Blocks,
+			Prepared:    inc.Stats.Prepared,
+			Reused:      inc.Stats.Reused,
+			Incremental: incTime,
+			Full:        fullTime,
+			Match:       match,
+		})
+		snap = inc.Snapshot
+	}
+	return out, nil
+}
+
+// staggeredBatch is append-only ingestion with partial coverage per batch:
+// batch 0 delivers the first half of every collection, and collection i is
+// completed in batch 1+(i mod (total−1)) — so every batch after the first
+// touches only a slice of the names and the last batch completes the
+// corpus.
+func staggeredBatch(cols []*corpus.Collection, k, total int) []*corpus.Collection {
+	out := make([]*corpus.Collection, 0, len(cols))
+	for i, col := range cols {
+		n := (len(col.Docs) + 1) / 2
+		if total < 2 || k >= 1+(i%(total-1)) {
+			n = len(col.Docs)
+		}
+		docs := append([]corpus.Document(nil), col.Docs[:n]...)
+		personas := 0
+		for _, doc := range docs {
+			if doc.PersonaID >= personas {
+				personas = doc.PersonaID + 1
+			}
+		}
+		out = append(out, &corpus.Collection{Name: col.Name, Docs: docs, NumPersonas: personas})
+	}
+	return out
+}
+
+// RenderIncrementalSweep formats the sweep as a text table.
+func RenderIncrementalSweep(rows []IncrementalBatchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "incremental vs full re-resolution (WWW'05 synthetic, append-only batches)\n")
+	fmt.Fprintf(&b, "%-6s %6s %7s %9s %7s %12s %12s %8s\n",
+		"batch", "docs", "blocks", "prepared", "reused", "incremental", "full", "equal")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %6d %7d %9d %7d %12v %12v %8v\n",
+			r.Batch, r.Docs, r.Blocks, r.Prepared, r.Reused,
+			r.Incremental.Round(time.Millisecond), r.Full.Round(time.Millisecond), r.Match)
+	}
+	return b.String()
+}

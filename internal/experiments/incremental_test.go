@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestIncrementalSweep(t *testing.T) {
+	rows, err := IncrementalSweep(context.Background(), QuickConfig(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Errorf("batch %d: incremental clusters diverged from full resolution", r.Batch)
+		}
+		if r.Prepared+r.Reused > r.Blocks {
+			t.Errorf("batch %d: inconsistent stats %+v", r.Batch, r)
+		}
+	}
+	if rows[0].Reused != 0 {
+		t.Errorf("first batch reused %d blocks with no prior snapshot", rows[0].Reused)
+	}
+	// Later batches leave untouched collections clean; they must be reused.
+	for _, r := range rows[1:] {
+		if r.Reused == 0 {
+			t.Errorf("batch %d: staggered delivery reused no blocks (%+v)", r.Batch, r)
+		}
+	}
+	if rows[len(rows)-1].Docs <= rows[0].Docs {
+		t.Errorf("corpus did not grow: %+v", rows)
+	}
+	if out := RenderIncrementalSweep(rows); !strings.Contains(out, "batch") {
+		t.Errorf("render output %q", out)
+	}
+}

@@ -66,13 +66,32 @@ func ParseBlocker(name string) (Blocker, error) {
 	return NewSchemeBlocker(scheme), nil
 }
 
-// docRef locates one flattened document.
-type docRef struct {
-	col, doc int
+// DocRef locates one ingested document by its position in the ingest: the
+// collection's index and the document's index within it.
+type DocRef struct {
+	Col, Doc int
+}
+
+// MembershipBlocker is an optional Blocker extension that additionally
+// reports which ingested documents each block contains. Incremental
+// resolution requires it: block membership is what gets diffed against the
+// previous run to decide which blocks are dirty.
+type MembershipBlocker interface {
+	Blocker
+	// BlockMembership returns the blocks plus, for each block, the refs of
+	// its member documents in block order (the order the block's Docs were
+	// assembled in).
+	BlockMembership(ctx context.Context, cols []*corpus.Collection) ([]*corpus.Collection, [][]DocRef, error)
 }
 
 // Block implements Blocker.
 func (sb SchemeBlocker) Block(ctx context.Context, cols []*corpus.Collection) ([]*corpus.Collection, error) {
+	blocks, _, err := sb.BlockMembership(ctx, cols)
+	return blocks, err
+}
+
+// BlockMembership implements MembershipBlocker.
+func (sb SchemeBlocker) BlockMembership(ctx context.Context, cols []*corpus.Collection) ([]*corpus.Collection, [][]DocRef, error) {
 	scheme := sb.Scheme
 	if scheme == nil {
 		scheme = blocking.ExactKey{}
@@ -82,21 +101,21 @@ func (sb SchemeBlocker) Block(ctx context.Context, cols []*corpus.Collection) ([
 		keys = collectionNameKey
 	}
 
-	var refs []docRef
+	var refs []DocRef
 	var records []blocking.Record
 	for ci, col := range cols {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for di := range col.Docs {
 			records = append(records, blocking.Record{ID: len(refs), Keys: keys(col, col.Docs[di])})
-			refs = append(refs, docRef{col: ci, doc: di})
+			refs = append(refs, DocRef{Col: ci, Doc: di})
 		}
 	}
 
 	pairs := scheme.Candidates(records)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	uf := ergraph.NewUnionFind(len(refs))
 	for _, p := range pairs {
@@ -119,23 +138,29 @@ func (sb SchemeBlocker) Block(ctx context.Context, cols []*corpus.Collection) ([
 	}
 
 	blocks := make([]*corpus.Collection, 0, len(members))
+	memberRefs := make([][]DocRef, 0, len(members))
 	for _, m := range members {
 		blocks = append(blocks, sb.assemble(cols, refs, m))
+		mr := make([]DocRef, len(m))
+		for j, idx := range m {
+			mr[j] = refs[idx]
+		}
+		memberRefs = append(memberRefs, mr)
 	}
-	return blocks, nil
+	return blocks, memberRefs, nil
 }
 
 // assemble builds one block collection from flattened member indices. A
 // component that covers exactly one whole ingested collection reuses it
 // verbatim; anything else (a split, or a cross-collection merge) gets
 // re-indexed documents and densely remapped persona labels.
-func (sb SchemeBlocker) assemble(cols []*corpus.Collection, refs []docRef, members []int) *corpus.Collection {
+func (sb SchemeBlocker) assemble(cols []*corpus.Collection, refs []DocRef, members []int) *corpus.Collection {
 	first := refs[members[0]]
-	src := cols[first.col]
+	src := cols[first.Col]
 	if len(members) == len(src.Docs) {
 		whole := true
 		for off, m := range members {
-			if refs[m].col != first.col || refs[m].doc != off {
+			if refs[m].Col != first.Col || refs[m].Doc != off {
 				whole = false
 				break
 			}
@@ -156,13 +181,13 @@ func (sb SchemeBlocker) assemble(cols []*corpus.Collection, refs []docRef, membe
 	out := &corpus.Collection{}
 	for i, m := range members {
 		ref := refs[m]
-		col := cols[ref.col]
+		col := cols[ref.Col]
 		if !seenName[col.Name] {
 			seenName[col.Name] = true
 			names = append(names, col.Name)
 		}
-		doc := col.Docs[ref.doc]
-		pk := personaKey{col: ref.col, persona: doc.PersonaID}
+		doc := col.Docs[ref.Doc]
+		pk := personaKey{col: ref.Col, persona: doc.PersonaID}
 		label, ok := personas[pk]
 		if !ok {
 			label = len(personas)

@@ -1,0 +1,188 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/blocking"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/stats"
+)
+
+// Snapshot is the carry-over state of one incremental resolution: every
+// block of that run keyed by its stable membership fingerprint, together
+// with the prepared state and clustering it produced. A Snapshot is
+// immutable — RunIncremental reads one and builds a fresh one — so an old
+// snapshot can keep serving concurrent readers while a new run is in
+// flight. Snapshots are only meaningful to a pipeline with the same
+// configuration (same options, blocker and strategy) that produced them;
+// feeding one to a differently-configured pipeline silently reuses results
+// the new configuration would not have computed.
+type Snapshot struct {
+	entries map[uint64]*cachedBlock
+}
+
+// Blocks returns the number of cached blocks.
+func (s *Snapshot) Blocks() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.entries)
+}
+
+// cachedBlock is one block's reusable output: the expensive prepared state
+// (nil for trivial blocks below the training size) plus the final
+// clustering and optional score.
+type cachedBlock struct {
+	prep  *core.Prepared
+	res   *core.Resolution
+	score *eval.Result
+}
+
+// IncrementalStats reports what the dirty-block diff did in one
+// incremental run. Blocks == Reused + Prepared + Trivial.
+type IncrementalStats struct {
+	// Blocks is the total number of blocks in this run.
+	Blocks int
+	// Reused is the number of blocks whose membership fingerprint matched
+	// the previous snapshot: their prepared state and clustering were
+	// reused and no re-preparation happened.
+	Reused int
+	// Prepared is the number of dirty blocks that went through the full
+	// prepare → analyze → cluster stages (the prepare-count probe).
+	Prepared int
+	// Trivial is the number of dirty blocks below the training size,
+	// resolved trivially without preparation.
+	Trivial int
+}
+
+// IncrementalResult is RunIncremental's output: the per-block results in
+// block order, the snapshot to carry into the next run, and the diff
+// stats.
+type IncrementalResult struct {
+	Results  []Result
+	Snapshot *Snapshot
+	Stats    IncrementalStats
+}
+
+// RunIncremental resolves the collections like Run, but diffs the block
+// membership against prev (the snapshot of the previous run over an
+// earlier version of the same growing corpus) and re-prepares and
+// re-analyzes only the dirty blocks — blocks whose member documents
+// changed. Untouched blocks reuse the previous run's core.Prepared and
+// clustering verbatim. A nil prev makes this a full resolution.
+//
+// Unlike Run, which seeds each block's training draw by block index,
+// RunIncremental derives the seed from the block's membership fingerprint,
+// so a block keeps the same training draw no matter how many new blocks
+// appear around it. That is what makes incremental resolution equivalent
+// to a full one: ingesting documents in K batches (append-only — existing
+// documents keep their collection and position) and resolving after each
+// batch yields, after the last batch, exactly the clusters of a single
+// RunIncremental over the union with prev == nil.
+//
+// The pipeline's Blocker must implement MembershipBlocker (every
+// SchemeBlocker does).
+func (p *Pipeline) RunIncremental(ctx context.Context, cols []*corpus.Collection, prev *Snapshot) (*IncrementalResult, error) {
+	mb, ok := p.blocker.(MembershipBlocker)
+	if !ok {
+		return nil, fmt.Errorf("pipeline: incremental resolution requires a membership-reporting blocker, %T does not report membership", p.blocker)
+	}
+	blocks, members, err := mb.BlockMembership(ctx, cols)
+	if err != nil {
+		return nil, err
+	}
+
+	keys := docKeys(cols)
+	fps := make([]uint64, len(blocks))
+	hashes := make([]uint64, 0, 64)
+	for i, mem := range members {
+		hashes = hashes[:0]
+		for _, ref := range mem {
+			hashes = append(hashes, keys[ref.Col][ref.Doc])
+		}
+		fps[i] = blocking.CombineIDs(hashes)
+	}
+
+	results := make([]Result, len(blocks))
+	preps := make([]*core.Prepared, len(blocks))
+	next := &Snapshot{entries: make(map[uint64]*cachedBlock, len(blocks))}
+	st := IncrementalStats{Blocks: len(blocks)}
+
+	// Diff: a block whose fingerprint is in the previous snapshot is
+	// clean — reuse its cached output; everything else is dirty.
+	var todo []int
+	for i := range blocks {
+		if prev != nil {
+			if cb, hit := prev.entries[fps[i]]; hit {
+				cb = p.rescored(cb, blocks[i])
+				results[i] = Result{Index: i, Block: blocks[i], Resolution: cb.res, Score: cb.score}
+				next.entries[fps[i]] = cb
+				st.Reused++
+				continue
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	var prepares atomic.Int64
+	baseSeed := p.resolver.Options().Seed
+	seedOf := func(i int) int64 {
+		return stats.SplitSeed(baseSeed, strconv.FormatUint(fps[i], 16))
+	}
+	if err := p.stream(ctx, blocks, todo, seedOf, results, preps, &prepares); err != nil {
+		return nil, err
+	}
+
+	for _, i := range todo {
+		next.entries[fps[i]] = &cachedBlock{
+			prep:  preps[i],
+			res:   results[i].Resolution,
+			score: results[i].Score,
+		}
+	}
+	st.Prepared = int(prepares.Load())
+	st.Trivial = len(todo) - st.Prepared
+	return &IncrementalResult{Results: results, Snapshot: next, Stats: st}, nil
+}
+
+// rescored returns cb with a score if the pipeline wants one and the cache
+// has none (the previous run was unscored); the cached entry itself is
+// never mutated.
+func (p *Pipeline) rescored(cb *cachedBlock, block *corpus.Collection) *cachedBlock {
+	if !p.score || cb.score != nil || len(block.Docs) == 0 {
+		return cb
+	}
+	s, err := eval.Evaluate(cb.res.Labels, block.GroundTruth())
+	if err != nil {
+		// An unscoreable cached block keeps its nil score rather than
+		// failing the whole run; scoring is advisory output.
+		return cb
+	}
+	out := *cb
+	out.score = &s
+	return &out
+}
+
+// docKeys fingerprints every ingested document. A document's key covers
+// its collection name, position, URL, text and persona label, so a block's
+// membership fingerprint changes exactly when any member document's
+// content or position changes — the dirty condition of the incremental
+// diff. Positions are stable under append-only ingestion, which is what
+// the store guarantees.
+func docKeys(cols []*corpus.Collection) [][]uint64 {
+	keys := make([][]uint64, len(cols))
+	for ci, col := range cols {
+		keys[ci] = make([]uint64, len(col.Docs))
+		for di := range col.Docs {
+			doc := &col.Docs[di]
+			keys[ci][di] = blocking.HashKey(
+				col.Name, strconv.Itoa(di), doc.URL, doc.Text, strconv.Itoa(doc.PersonaID))
+		}
+	}
+	return keys
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -154,6 +155,25 @@ func (p *Pipeline) Run(ctx context.Context, cols []*corpus.Collection) ([]Result
 		return nil, err
 	}
 	results := make([]Result, len(blocks))
+	todo := make([]int, len(blocks))
+	for i := range todo {
+		todo[i] = i
+	}
+	if err := p.stream(ctx, blocks, todo, p.seedFn, results, nil, nil); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// stream is the shared prepare → analyze → combine → cluster → report core
+// of Run and RunIncremental: it pushes the blocks named by todo through the
+// bounded-channel worker stages and writes each block's Result into
+// results[idx]. seedOf derives a block's training seed from its index.
+// When preps is non-nil, each non-trivial block's Prepared is retained in
+// preps[idx]; when prepares is non-nil it counts the PrepareCtx calls made
+// (the prepare-count probe the incremental tests assert against).
+func (p *Pipeline) stream(ctx context.Context, blocks []*corpus.Collection, todo []int,
+	seedOf func(blockIndex int) int64, results []Result, preps []*core.Prepared, prepares *atomic.Int64) error {
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -167,8 +187,8 @@ func (p *Pipeline) Run(ctx context.Context, cols []*corpus.Collection) ([]Result
 	}
 
 	workers := p.workers
-	if workers > len(blocks) {
-		workers = len(blocks)
+	if workers > len(todo) {
+		workers = len(todo)
 	}
 	if workers < 1 {
 		workers = 1
@@ -180,7 +200,7 @@ func (p *Pipeline) Run(ctx context.Context, cols []*corpus.Collection) ([]Result
 	// channel, cancellation from the run context.
 	go func() {
 		defer close(blockCh)
-		for i := range blocks {
+		for _, i := range todo {
 			select {
 			case blockCh <- i:
 			case <-runCtx.Done():
@@ -211,10 +231,16 @@ func (p *Pipeline) Run(ctx context.Context, cols []*corpus.Collection) ([]Result
 					results[i] = res
 					continue
 				}
+				if prepares != nil {
+					prepares.Add(1)
+				}
 				prep, err := p.resolver.PrepareCtx(runCtx, col)
 				if err != nil {
 					fail(fmt.Errorf("pipeline: preparing block %q: %w", col.Name, err))
 					return
+				}
+				if preps != nil {
+					preps[i] = prep
 				}
 				select {
 				case prepCh <- prepped{idx: i, prep: prep}:
@@ -240,7 +266,7 @@ func (p *Pipeline) Run(ctx context.Context, cols []*corpus.Collection) ([]Result
 				if runCtx.Err() != nil {
 					return
 				}
-				res, err := p.resolveBlock(item.idx, blocks[item.idx], item.prep)
+				res, err := p.resolveBlock(item.idx, blocks[item.idx], item.prep, seedOf(item.idx))
 				if err != nil {
 					fail(fmt.Errorf("pipeline: resolving block %q: %w", blocks[item.idx].Name, err))
 					return
@@ -252,18 +278,15 @@ func (p *Pipeline) Run(ctx context.Context, cols []*corpus.Collection) ([]Result
 	anWG.Wait()
 
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+	return firstErr
 }
 
 // resolveBlock runs analysis, combination, clustering and scoring for one
 // prepared block.
-func (p *Pipeline) resolveBlock(idx int, col *corpus.Collection, prep *core.Prepared) (Result, error) {
-	a, err := prep.Run(p.seedFn(idx))
+func (p *Pipeline) resolveBlock(idx int, col *corpus.Collection, prep *core.Prepared, seed int64) (Result, error) {
+	a, err := prep.Run(seed)
 	if err != nil {
 		return Result{}, err
 	}

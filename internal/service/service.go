@@ -1,8 +1,13 @@
 // Package service is the HTTP layer over the resolution pipeline: a JSON
 // collection in, clusters and quality scores out, with per-request
 // timeouts that cancel the in-flight pipeline (mid-extraction or
-// mid-matrix) through the request context. `ersolve serve` mounts it; the
-// handler is also usable inside any other mux.
+// mid-matrix) through the request context. Beyond the one-shot POST
+// /v1/resolve, the server owns a document store and a job queue: POST
+// /v1/collections enqueues documents asynchronously, GET /v1/jobs/{id}
+// reports ingest progress, and POST /v1/resolve/incremental re-resolves
+// only the blocks whose membership changed since the previous incremental
+// run. `ersolve serve` mounts it; the handler is also usable inside any
+// other mux.
 package service
 
 import (
@@ -10,13 +15,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
 	"repro/internal/pipeline"
+	"repro/internal/store"
 )
 
 // Config bounds the server's per-request resources.
@@ -29,14 +38,39 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes bounds the request body; zero selects 32 MiB.
 	MaxBodyBytes int64
+	// QueueBuffer bounds the ingest job backlog; zero selects 64.
+	QueueBuffer int
+	// MaxSnapshots caps how many knob configurations keep an incremental
+	// snapshot (each retains the prepared state of every block); the
+	// least-recently-used is evicted beyond the cap. Zero selects 16.
+	MaxSnapshots int
+	// Store is the document store behind the ingest endpoints; nil
+	// selects a fresh in-memory store.
+	Store store.DocumentStore
 }
 
 // Server resolves posted collections through the streaming pipeline.
 type Server struct {
-	cfg Config
+	cfg   Config
+	store store.DocumentStore
+	jobs  *store.Queue
+
+	// states holds one incremental snapshot per resolution configuration;
+	// runs with the same configuration serialize on their state so each
+	// sees the previous run's snapshot.
+	statesMu sync.Mutex
+	states   map[string]*incrementalState
 }
 
-// New applies the config defaults and returns a server.
+type incrementalState struct {
+	mu   sync.Mutex
+	snap *pipeline.Snapshot
+	// lastUsed orders LRU eviction; guarded by Server.statesMu.
+	lastUsed time.Time
+}
+
+// New applies the config defaults and returns a server. The server owns a
+// background ingest worker; call Close when done with it.
 func New(cfg Config) *Server {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 30 * time.Second
@@ -47,34 +81,57 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
 	}
-	return &Server{cfg: cfg}
+	if cfg.MaxSnapshots <= 0 {
+		cfg.MaxSnapshots = 16
+	}
+	s := &Server{
+		cfg:    cfg,
+		store:  cfg.Store,
+		jobs:   store.NewQueue(cfg.QueueBuffer),
+		states: make(map[string]*incrementalState),
+	}
+	if s.store == nil {
+		s.store = store.NewMemStore()
+	}
+	return s
 }
 
-// Handler returns the service mux: POST /v1/resolve and GET /healthz.
+// Close shuts the ingest worker down, draining queued jobs until ctx
+// expires; after that the remaining jobs are canceled and ctx's error is
+// returned.
+func (s *Server) Close(ctx context.Context) error {
+	return s.jobs.Shutdown(ctx)
+}
+
+// Handler returns the service mux:
+//
+//	POST /v1/resolve              one-shot resolution of the posted body
+//	POST /v1/collections          enqueue documents into the store
+//	GET  /v1/jobs/{id}            ingest job status and result
+//	POST /v1/resolve/incremental  resolve the store, reusing clean blocks
+//	GET  /healthz                 liveness plus store stats
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/resolve", s.handleResolve)
+	mux.HandleFunc("/v1/resolve/incremental", s.handleResolveIncremental)
+	mux.HandleFunc("/v1/collections", s.handleCollections)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "store": s.store.Stats()})
 	})
 	return mux
 }
 
-// ResolveRequest is the /v1/resolve body. Because the resolution knobs are
-// optional, a dataset file written by ergen (`{"label": …,
-// "collections": […]}`) is itself a valid request.
-type ResolveRequest struct {
-	// Label optionally names the dataset; echoed in the response.
-	Label string `json:"label,omitempty"`
-	// Collections are the blocks to resolve, in ergen's JSON format.
-	Collections []*corpus.Collection `json:"collections"`
+// resolveKnobs are the resolution parameters shared by the one-shot and
+// incremental endpoints.
+type resolveKnobs struct {
 	// Strategy is the combine stage: best | threshold | weighted |
 	// majority (default best).
 	Strategy string `json:"strategy,omitempty"`
 	// Clustering is the final clustering step: closure | correlation
 	// (default closure).
 	Clustering string `json:"clustering,omitempty"`
-	// Blocking re-partitions the posted documents: exact | token |
+	// Blocking re-partitions the documents: exact | token |
 	// sortedneighborhood | canopy (default exact, the paper's scheme).
 	Blocking string `json:"blocking,omitempty"`
 	// TrainFraction is the labeled fraction (default 0.10).
@@ -89,6 +146,53 @@ type ResolveRequest struct {
 	// Score controls evaluation against the embedded ground truth
 	// (default true).
 	Score *bool `json:"score,omitempty"`
+}
+
+// ResolveRequest is the /v1/resolve body. Because the resolution knobs are
+// optional, a dataset file written by ergen (`{"label": …,
+// "collections": […]}`) is itself a valid request.
+type ResolveRequest struct {
+	// Label optionally names the dataset; echoed in the response.
+	Label string `json:"label,omitempty"`
+	// Collections are the blocks to resolve, in ergen's JSON format.
+	Collections []*corpus.Collection `json:"collections"`
+	resolveKnobs
+}
+
+// IncrementalResolveRequest is the /v1/resolve/incremental body: the same
+// knobs as /v1/resolve, but the documents come from the server's store
+// rather than the request. Each distinct knob configuration keeps its own
+// snapshot; a repeated request re-prepares only the blocks whose
+// membership changed since that configuration's previous run.
+type IncrementalResolveRequest struct {
+	// Label optionally names the run; echoed in the response.
+	Label string `json:"label,omitempty"`
+	// Fresh discards the configuration's cached snapshot first, forcing a
+	// full re-resolution of the store (the equivalence baseline).
+	Fresh bool `json:"fresh,omitempty"`
+	resolveKnobs
+}
+
+// CollectionsRequest is the /v1/collections body: documents to append to
+// the store. Collections merge by name; document IDs are assigned by the
+// store and persona labels are remapped densely per collection, so a
+// client may deliver one collection across many batches.
+type CollectionsRequest struct {
+	Collections []*corpus.Collection `json:"collections"`
+}
+
+// IngestResult is the result payload of a finished ingest job.
+type IngestResult struct {
+	// DocsAdded is the number of documents this job appended.
+	DocsAdded int `json:"docs_added"`
+	// Store describes the store right after the append.
+	Store store.Stats `json:"store"`
+}
+
+// CollectionsResponse acknowledges an enqueued ingest job.
+type CollectionsResponse struct {
+	JobID     string `json:"job_id"`
+	StatusURL string `json:"status_url"`
 }
 
 // BlockScore is one block's evaluation against its ground truth.
@@ -127,89 +231,331 @@ type ResolveResponse struct {
 	ElapsedMillis int64 `json:"elapsed_ms"`
 }
 
+// IncrementalStats reports the dirty-block diff of one incremental run.
+type IncrementalStats struct {
+	// Blocks is the total number of blocks.
+	Blocks int `json:"blocks"`
+	// ReusedBlocks were unchanged and reused from the previous run.
+	ReusedBlocks int `json:"reused_blocks"`
+	// PreparedBlocks were dirty and fully re-prepared.
+	PreparedBlocks int `json:"prepared_blocks"`
+	// TrivialBlocks were dirty but below the training size.
+	TrivialBlocks int `json:"trivial_blocks"`
+}
+
+// IncrementalResolveResponse is the /v1/resolve/incremental reply.
+type IncrementalResolveResponse struct {
+	Label string `json:"label,omitempty"`
+	// StoreVersion is the store version this resolution reflects.
+	StoreVersion uint64 `json:"store_version"`
+	// Docs is the number of documents resolved.
+	Docs   int           `json:"docs"`
+	Blocks []BlockResult `json:"blocks"`
+	// Average macro-averages the per-block scores when more than one
+	// block was scored.
+	Average *BlockScore `json:"average,omitempty"`
+	// Incremental reports what the dirty-block diff skipped.
+	Incremental IncrementalStats `json:"incremental"`
+	// ElapsedMillis is the server-side resolution time.
+	ElapsedMillis int64 `json:"elapsed_ms"`
+}
+
 // errorResponse is the JSON error envelope.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// allowOnly answers false and writes a 405 with an Allow header and a JSON
+// error when the request's method is not the given one.
+func allowOnly(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeJSON(w, http.StatusMethodNotAllowed,
+		errorResponse{Error: fmt.Sprintf("method %s is not allowed; use %s", r.Method, method)})
+	return false
+}
+
+// jsonBody answers false and writes a 415 JSON error when the request
+// declares a non-JSON content type. An absent Content-Type is accepted as
+// JSON for curl-friendliness.
+func jsonBody(w http.ResponseWriter, r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		writeJSON(w, http.StatusUnsupportedMediaType,
+			errorResponse{Error: fmt.Sprintf("unparseable content type %q: send application/json", ct)})
+		return false
+	}
+	if mt == "application/json" || mt == "text/json" || strings.HasSuffix(mt, "+json") {
+		return true
+	}
+	writeJSON(w, http.StatusUnsupportedMediaType,
+		errorResponse{Error: fmt.Sprintf("unsupported content type %q: send application/json", mt)})
+	return false
+}
+
+// decodeJSON decodes the bounded request body, answering false after
+// writing a 400 on malformed input.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		return false
+	}
+	return true
+}
+
+// timeoutFor clamps the request's timeout wish to the server's bounds.
+func (s *Server) timeoutFor(millis int64) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if millis > 0 {
+		timeout = time.Duration(millis) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	return timeout
+}
+
 func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST a dataset JSON to /v1/resolve"})
+	if !allowOnly(w, r, http.MethodPost) || !jsonBody(w, r) {
 		return
 	}
 	var req ResolveRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	pl, score, err := s.build(&req)
+	if len(req.Collections) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "request has no collections"})
+		return
+	}
+	for _, col := range req.Collections {
+		if err := col.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+	}
+	pl, score, err := buildPipeline(req.resolveKnobs)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMillis > 0 {
-		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-	}
+	timeout := s.timeoutFor(req.TimeoutMillis)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
 	start := time.Now()
 	results, err := pl.Run(ctx, req.Collections)
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout,
-			errorResponse{Error: fmt.Sprintf("resolution exceeded the %v request timeout", timeout)})
-		return
-	case errors.Is(err, context.Canceled):
-		// The client went away; there is nobody to answer.
-		return
-	case err != nil:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	if !writeRunError(w, err, timeout) {
 		return
 	}
 
 	resp := ResolveResponse{Label: req.Label, ElapsedMillis: time.Since(start).Milliseconds()}
-	var scores []eval.Result
-	for _, res := range results {
-		br := BlockResult{
-			Name:        res.Block.Name,
-			Docs:        len(res.Block.Docs),
-			NumEntities: res.Resolution.NumEntities(),
-			Source:      res.Resolution.Source,
-			Labels:      res.Resolution.Labels,
-			Clusters:    clustersOf(res.Resolution.Labels, res.Resolution.NumEntities()),
-		}
-		if score && res.Score != nil {
-			br.Score = &BlockScore{Fp: res.Score.Fp, F: res.Score.F, Rand: res.Score.Rand}
-			scores = append(scores, *res.Score)
-		}
-		resp.Blocks = append(resp.Blocks, br)
-	}
-	if len(scores) > 1 {
-		avg := eval.Aggregate(scores)
-		resp.Average = &BlockScore{Fp: avg.Fp, F: avg.F, Rand: avg.Rand}
-	}
+	resp.Blocks, resp.Average = blockResults(results, score)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// build validates the request and assembles its pipeline.
-func (s *Server) build(req *ResolveRequest) (*pipeline.Pipeline, bool, error) {
-	if len(req.Collections) == 0 {
-		return nil, false, fmt.Errorf("request has no collections")
+func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodPost) || !jsonBody(w, r) {
+		return
 	}
+	var req CollectionsRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Collections) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "request has no collections"})
+		return
+	}
+	// Fail fast in the request, not the job: the store's validation is
+	// cheap enough to run twice.
 	for _, col := range req.Collections {
-		if err := col.Validate(); err != nil {
-			return nil, false, err
+		if col == nil || col.Name == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "every collection needs a name"})
+			return
+		}
+		for i, d := range col.Docs {
+			if d.PersonaID < 0 {
+				writeJSON(w, http.StatusBadRequest, errorResponse{
+					Error: fmt.Sprintf("collection %q doc %d has negative persona %d", col.Name, i, d.PersonaID)})
+				return
+			}
 		}
 	}
 
+	job, err := s.jobs.Enqueue("ingest", func(context.Context) (any, error) {
+		added, err := s.store.Append(req.Collections)
+		if err != nil {
+			return nil, err
+		}
+		return IngestResult{DocsAdded: added, Store: s.store.Stats()}, nil
+	})
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, CollectionsResponse{
+		JobID:     job.ID,
+		StatusURL: "/v1/jobs/" + job.ID,
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "job paths look like /v1/jobs/{id}"})
+		return
+	}
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodPost) || !jsonBody(w, r) {
+		return
+	}
+	var req IncrementalResolveRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	pl, score, err := buildPipeline(req.resolveKnobs)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	// One snapshot per knob configuration; same-config runs serialize so
+	// each sees its predecessor's snapshot. The store snapshot is taken
+	// under the state lock, so a run can never overwrite the state with
+	// results for an older store version than its predecessor saw.
+	state := s.stateFor(req.resolveKnobs)
+	state.mu.Lock()
+	defer state.mu.Unlock()
+
+	cols, version := s.store.Snapshot()
+	docs := 0
+	for _, col := range cols {
+		docs += len(col.Docs)
+	}
+	if docs == 0 {
+		writeJSON(w, http.StatusConflict,
+			errorResponse{Error: "the store is empty; ingest documents via POST /v1/collections first"})
+		return
+	}
+	prev := state.snap
+	if req.Fresh {
+		prev = nil
+	}
+
+	timeout := s.timeoutFor(req.TimeoutMillis)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	inc, err := pl.RunIncremental(ctx, cols, prev)
+	if !writeRunError(w, err, timeout) {
+		return
+	}
+	state.snap = inc.Snapshot
+
+	resp := IncrementalResolveResponse{
+		Label:         req.Label,
+		StoreVersion:  version,
+		Docs:          docs,
+		ElapsedMillis: time.Since(start).Milliseconds(),
+		Incremental: IncrementalStats{
+			Blocks:         inc.Stats.Blocks,
+			ReusedBlocks:   inc.Stats.Reused,
+			PreparedBlocks: inc.Stats.Prepared,
+			TrivialBlocks:  inc.Stats.Trivial,
+		},
+	}
+	resp.Blocks, resp.Average = blockResults(inc.Results, score)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// stateFor returns the incremental state of one knob configuration,
+// creating it on first use and evicting the least-recently-used state
+// beyond the snapshot cap. The key is built from the EFFECTIVE values
+// (defaults resolved), so `{}` and `{"seed":1}` share one state and an
+// explicit "seed":-1 can never alias the defaults.
+func (s *Server) stateFor(k resolveKnobs) *incrementalState {
+	def := core.DefaultOptions()
+	strategy, clustering, blocking := k.Strategy, k.Clustering, k.Blocking
+	if strategy == "" {
+		strategy = "best"
+	}
+	if clustering == "" {
+		clustering = "closure"
+	}
+	if blocking == "" {
+		blocking = "exact"
+	}
+	train, regions, seed := k.TrainFraction, k.Regions, def.Seed
+	if train == 0 {
+		train = def.TrainFraction
+	}
+	if regions == 0 {
+		regions = def.RegionK
+	}
+	if k.Seed != nil {
+		seed = *k.Seed
+	}
+	key := fmt.Sprintf("%s|%s|%s|%g|%d|%d", strategy, clustering, blocking, train, regions, seed)
+
+	s.statesMu.Lock()
+	defer s.statesMu.Unlock()
+	state, ok := s.states[key]
+	if !ok {
+		for len(s.states) >= s.cfg.MaxSnapshots {
+			oldestKey := ""
+			var oldest time.Time
+			for sk, st := range s.states {
+				if oldestKey == "" || st.lastUsed.Before(oldest) {
+					oldestKey, oldest = sk, st.lastUsed
+				}
+			}
+			delete(s.states, oldestKey)
+		}
+		state = &incrementalState{}
+		s.states[key] = state
+	}
+	state.lastUsed = time.Now()
+	return state
+}
+
+// writeRunError maps a pipeline error to its HTTP reply; it answers true
+// when the run succeeded and the caller should write the response.
+func writeRunError(w http.ResponseWriter, err error, timeout time.Duration) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout,
+			errorResponse{Error: fmt.Sprintf("resolution exceeded the %v request timeout", timeout)})
+	case errors.Is(err, context.Canceled):
+		// The client went away; there is nobody to answer.
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+	return false
+}
+
+// buildPipeline validates the knobs and assembles their pipeline.
+func buildPipeline(req resolveKnobs) (*pipeline.Pipeline, bool, error) {
 	opts := core.DefaultOptions()
 	if req.TrainFraction != 0 {
 		opts.TrainFraction = req.TrainFraction
@@ -228,7 +574,7 @@ func (s *Server) build(req *ResolveRequest) (*pipeline.Pipeline, bool, error) {
 		opts.Clustering = m
 	}
 
-	cfg := pipeline.Config{Options: opts, Score: true}
+	cfg := pipeline.Config{Options: opts}
 	if req.Strategy != "" {
 		strat, err := pipeline.ParseStrategy(req.Strategy)
 		if err != nil {
@@ -251,6 +597,34 @@ func (s *Server) build(req *ResolveRequest) (*pipeline.Pipeline, bool, error) {
 		return nil, false, err
 	}
 	return pl, score, nil
+}
+
+// blockResults converts pipeline results to their response form, macro-
+// averaging the per-block scores when more than one block was scored.
+func blockResults(results []pipeline.Result, score bool) ([]BlockResult, *BlockScore) {
+	var blocks []BlockResult
+	var scores []eval.Result
+	for _, res := range results {
+		br := BlockResult{
+			Name:        res.Block.Name,
+			Docs:        len(res.Block.Docs),
+			NumEntities: res.Resolution.NumEntities(),
+			Source:      res.Resolution.Source,
+			Labels:      res.Resolution.Labels,
+			Clusters:    clustersOf(res.Resolution.Labels, res.Resolution.NumEntities()),
+		}
+		if score && res.Score != nil {
+			br.Score = &BlockScore{Fp: res.Score.Fp, F: res.Score.F, Rand: res.Score.Rand}
+			scores = append(scores, *res.Score)
+		}
+		blocks = append(blocks, br)
+	}
+	var avg *BlockScore
+	if len(scores) > 1 {
+		a := eval.Aggregate(scores)
+		avg = &BlockScore{Fp: a.Fp, F: a.F, Rand: a.Rand}
+	}
+	return blocks, avg
 }
 
 // clustersOf inverts a label slice into per-entity member lists.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -10,12 +11,21 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/store"
 )
 
 func testServer(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(cfg).Handler())
-	t.Cleanup(ts.Close)
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	})
 	return ts
 }
 
@@ -85,8 +95,9 @@ func TestResolveRequestTimeout(t *testing.T) {
 	col := testCollection(t, 120)
 
 	resp := postResolve(t, ts, ResolveRequest{
-		Collections:   []*corpus.Collection{col},
-		TimeoutMillis: 1, // fires inside the first block's preparation
+		Collections: []*corpus.Collection{col},
+		// A 1ms budget fires inside the first block's preparation.
+		resolveKnobs: resolveKnobs{TimeoutMillis: 1},
 	})
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
@@ -110,11 +121,14 @@ func TestResolveValidation(t *testing.T) {
 		want string
 	}{
 		{"no collections", ResolveRequest{}, "no collections"},
-		{"bad strategy", ResolveRequest{Collections: []*corpus.Collection{col}, Strategy: "bogus"},
+		{"bad strategy", ResolveRequest{Collections: []*corpus.Collection{col},
+			resolveKnobs: resolveKnobs{Strategy: "bogus"}},
 			"best, threshold, weighted, majority"},
-		{"bad clustering", ResolveRequest{Collections: []*corpus.Collection{col}, Clustering: "bogus"},
+		{"bad clustering", ResolveRequest{Collections: []*corpus.Collection{col},
+			resolveKnobs: resolveKnobs{Clustering: "bogus"}},
 			"closure, correlation"},
-		{"bad blocking", ResolveRequest{Collections: []*corpus.Collection{col}, Blocking: "bogus"},
+		{"bad blocking", ResolveRequest{Collections: []*corpus.Collection{col},
+			resolveKnobs: resolveKnobs{Blocking: "bogus"}},
 			"exact, token, sortedneighborhood, canopy"},
 	}
 	for _, tc := range cases {
@@ -132,13 +146,22 @@ func TestResolveValidation(t *testing.T) {
 		}
 	}
 
-	if resp, err := http.Get(ts.URL + "/v1/resolve"); err != nil {
-		t.Fatal(err)
-	} else {
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	for _, path := range []string{"/v1/resolve", "/v1/resolve/incremental", "/v1/collections"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
 		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s status = %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+			t.Errorf("GET %s Allow = %q, want POST", path, allow)
+		}
+		var out errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.Error == "" {
+			t.Errorf("GET %s: 405 body is not a JSON error (%v, %+v)", path, err, out)
+		}
+		resp.Body.Close()
 	}
 
 	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
@@ -148,5 +171,274 @@ func TestResolveValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("healthz status = %d", resp.StatusCode)
 		}
+	}
+}
+
+func TestUnsupportedContentType(t *testing.T) {
+	ts := testServer(t, Config{})
+	for _, path := range []string{"/v1/resolve", "/v1/resolve/incremental", "/v1/collections"} {
+		resp, err := http.Post(ts.URL+path, "application/x-www-form-urlencoded",
+			strings.NewReader("a=b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Errorf("POST %s status = %d, want 415", path, resp.StatusCode)
+		}
+		var out errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || !strings.Contains(out.Error, "application/json") {
+			t.Errorf("POST %s: 415 body should be a JSON error naming application/json, got %v %+v", path, err, out)
+		}
+		resp.Body.Close()
+	}
+
+	// A JSON content type with parameters is accepted.
+	col := testCollection(t, 10)
+	body, _ := json.Marshal(CollectionsRequest{Collections: []*corpus.Collection{col}})
+	resp, err := http.Post(ts.URL+"/v1/collections", "application/json; charset=utf-8", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("charset-parameterized JSON rejected with %d", resp.StatusCode)
+	}
+}
+
+// postJSON posts v to path and decodes the response into out.
+func postJSON(t *testing.T, ts *httptest.Server, path string, v any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitJob polls the job endpoint until the job finishes.
+func waitJob(t *testing.T, ts *httptest.Server, id string) store.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job store.Job
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Status != store.JobPending && job.Status != store.JobRunning {
+			return job
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return store.Job{}
+}
+
+func TestIngestJobsAndIncrementalResolve(t *testing.T) {
+	ts := testServer(t, Config{})
+	col := testCollection(t, 24)
+
+	// Incremental resolution of an empty store is a 409.
+	var errOut errorResponse
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{}, &errOut); code != http.StatusConflict {
+		t.Fatalf("empty-store incremental = %d, want 409 (%+v)", code, errOut)
+	}
+
+	// Ingest the collection in two batches through the async job queue.
+	half := len(col.Docs) / 2
+	batches := []*corpus.Collection{
+		{Name: col.Name, Docs: col.Docs[:half], NumPersonas: col.NumPersonas},
+		{Name: col.Name, Docs: col.Docs[half:], NumPersonas: col.NumPersonas},
+	}
+	var lastIngest IngestResult
+	for i, batch := range batches {
+		var ack CollectionsResponse
+		if code := postJSON(t, ts, "/v1/collections", CollectionsRequest{Collections: []*corpus.Collection{batch}}, &ack); code != http.StatusAccepted {
+			t.Fatalf("batch %d: status %d", i, code)
+		}
+		if ack.JobID == "" || ack.StatusURL != "/v1/jobs/"+ack.JobID {
+			t.Fatalf("batch %d: ack = %+v", i, ack)
+		}
+		job := waitJob(t, ts, ack.JobID)
+		if job.Status != store.JobDone {
+			t.Fatalf("batch %d: job = %+v", i, job)
+		}
+		raw, err := json.Marshal(job.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, &lastIngest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lastIngest.Store.Docs != len(col.Docs) || lastIngest.Store.Collections != 1 {
+		t.Fatalf("store after ingest = %+v", lastIngest.Store)
+	}
+
+	// First incremental run resolves everything from scratch.
+	var first IncrementalResolveResponse
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{Label: "run1"}, &first); code != http.StatusOK {
+		t.Fatalf("incremental = %d", code)
+	}
+	if first.Docs != len(col.Docs) || first.Incremental.ReusedBlocks != 0 {
+		t.Fatalf("first run = %+v", first)
+	}
+	if len(first.Blocks) == 0 || first.Blocks[0].Score == nil {
+		t.Fatalf("first run blocks = %+v", first.Blocks)
+	}
+
+	// An unchanged store makes the second run pure reuse, with clusters
+	// identical to a forced-fresh full resolution.
+	var second, fresh IncrementalResolveResponse
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{}, &second); code != http.StatusOK {
+		t.Fatalf("second incremental = %d", code)
+	}
+	if second.Incremental.ReusedBlocks != second.Incremental.Blocks || second.Incremental.PreparedBlocks != 0 {
+		t.Fatalf("second run did not reuse everything: %+v", second.Incremental)
+	}
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{Fresh: true}, &fresh); code != http.StatusOK {
+		t.Fatalf("fresh incremental = %d", code)
+	}
+	if fresh.Incremental.ReusedBlocks != 0 {
+		t.Fatalf("fresh run reused blocks: %+v", fresh.Incremental)
+	}
+	for i := range fresh.Blocks {
+		if !equalInts(second.Blocks[i].Labels, fresh.Blocks[i].Labels) {
+			t.Errorf("block %d: incremental clusters %v != fresh clusters %v",
+				i, second.Blocks[i].Labels, fresh.Blocks[i].Labels)
+		}
+	}
+}
+
+func TestJobEndpointErrors(t *testing.T) {
+	ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/jobs/j1", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodGet {
+		t.Errorf("POST job status = %d Allow = %q, want 405 with Allow: GET",
+			resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+func TestCollectionsValidation(t *testing.T) {
+	ts := testServer(t, Config{})
+	cases := []struct {
+		name string
+		req  CollectionsRequest
+	}{
+		{"no collections", CollectionsRequest{}},
+		{"unnamed collection", CollectionsRequest{Collections: []*corpus.Collection{{}}}},
+		{"negative persona", CollectionsRequest{Collections: []*corpus.Collection{
+			{Name: "x", Docs: []corpus.Document{{PersonaID: -3}}}}}},
+	}
+	for _, tc := range cases {
+		var out errorResponse
+		if code := postJSON(t, ts, "/v1/collections", tc.req, &out); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%+v)", tc.name, code, out)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ingestCollection ingests one collection and waits for the job.
+func ingestCollection(t *testing.T, ts *httptest.Server, col *corpus.Collection) {
+	t.Helper()
+	var ack CollectionsResponse
+	if code := postJSON(t, ts, "/v1/collections", CollectionsRequest{Collections: []*corpus.Collection{col}}, &ack); code != http.StatusAccepted {
+		t.Fatalf("ingest status %d", code)
+	}
+	if job := waitJob(t, ts, ack.JobID); job.Status != store.JobDone {
+		t.Fatalf("ingest job = %+v", job)
+	}
+}
+
+// TestIncrementalStateKeying pins the snapshot-identity rules: requests
+// with the same effective configuration share a snapshot (defaults
+// resolved), and no explicit seed may alias the defaults.
+func TestIncrementalStateKeying(t *testing.T) {
+	ts := testServer(t, Config{})
+	ingestCollection(t, ts, testCollection(t, 12))
+
+	seed := func(v int64) IncrementalResolveRequest {
+		return IncrementalResolveRequest{resolveKnobs: resolveKnobs{Seed: &v}}
+	}
+	var out IncrementalResolveResponse
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{}, &out); code != http.StatusOK {
+		t.Fatalf("default run: %d", code)
+	}
+	// {"seed":1} is the default seed spelled out — same state, pure reuse.
+	if code := postJSON(t, ts, "/v1/resolve/incremental", seed(1), &out); code != http.StatusOK {
+		t.Fatalf("seed 1 run: %d", code)
+	}
+	if out.Incremental.ReusedBlocks != out.Incremental.Blocks {
+		t.Errorf("explicit default seed did not share the default state: %+v", out.Incremental)
+	}
+	// {"seed":-1} is a different configuration — it must not see the
+	// default state's snapshot (computed under seed 1).
+	if code := postJSON(t, ts, "/v1/resolve/incremental", seed(-1), &out); code != http.StatusOK {
+		t.Fatalf("seed -1 run: %d", code)
+	}
+	if out.Incremental.ReusedBlocks != 0 {
+		t.Errorf("seed -1 aliased the default-seed snapshot: %+v", out.Incremental)
+	}
+}
+
+// TestIncrementalSnapshotEviction pins the LRU cap on per-configuration
+// snapshots: beyond MaxSnapshots, the least-recently-used state is
+// dropped and its configuration resolves from scratch next time.
+func TestIncrementalSnapshotEviction(t *testing.T) {
+	ts := testServer(t, Config{MaxSnapshots: 1})
+	ingestCollection(t, ts, testCollection(t, 12))
+
+	var out IncrementalResolveResponse
+	postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{}, &out)
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{}, &out); code != http.StatusOK || out.Incremental.ReusedBlocks == 0 {
+		t.Fatalf("warm default state should reuse: %d %+v", code, out.Incremental)
+	}
+	// A second configuration evicts the only slot.
+	s7 := int64(7)
+	postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{resolveKnobs: resolveKnobs{Seed: &s7}}, &out)
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{}, &out); code != http.StatusOK {
+		t.Fatalf("post-eviction run: %d", code)
+	}
+	if out.Incremental.ReusedBlocks != 0 {
+		t.Errorf("evicted state still reused blocks: %+v", out.Incremental)
 	}
 }

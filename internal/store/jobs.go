@@ -1,0 +1,179 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobStatus is a job's lifecycle state: pending → running → done | failed,
+// or canceled when a shutdown discards it before or during execution.
+type JobStatus string
+
+const (
+	JobPending  JobStatus = "pending"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// Job is one queued unit of work, as reported to clients. Timestamps use
+// the server clock; Result and Error are set when the job finishes.
+type Job struct {
+	ID         string     `json:"id"`
+	Kind       string     `json:"kind"`
+	Status     JobStatus  `json:"status"`
+	Error      string     `json:"error,omitempty"`
+	Result     any        `json:"result,omitempty"`
+	EnqueuedAt time.Time  `json:"enqueued_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// queued pairs a job ID with the work to run.
+type queued struct {
+	id  string
+	run func(context.Context) (any, error)
+}
+
+// Queue runs enqueued jobs on a single background worker, serializing
+// mutations of the shared store so ingest order — and with it the store's
+// document positions — is the order jobs were enqueued in. Job records
+// stay queryable after completion (in-memory, for the process lifetime).
+type Queue struct {
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    int
+	closed bool
+
+	ch     chan queued
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewQueue starts a queue whose backlog holds up to buffer pending jobs
+// (values < 1 select 64); Enqueue fails fast when the backlog is full
+// rather than blocking the caller.
+func NewQueue(buffer int) *Queue {
+	if buffer < 1 {
+		buffer = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		jobs:   make(map[string]*Job),
+		ch:     make(chan queued, buffer),
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go q.worker()
+	return q
+}
+
+func (q *Queue) worker() {
+	defer close(q.done)
+	for item := range q.ch {
+		if q.ctx.Err() != nil {
+			q.finish(item.id, nil, q.ctx.Err())
+			continue
+		}
+		q.setRunning(item.id)
+		result, err := item.run(q.ctx)
+		q.finish(item.id, result, err)
+	}
+}
+
+// Enqueue registers a job and hands it to the worker. It fails when the
+// queue is shut down or the backlog is full. The mutex is held across the
+// non-blocking send so Enqueue can never race Shutdown's close(q.ch) into
+// a send on a closed channel.
+func (q *Queue) Enqueue(kind string, run func(context.Context) (any, error)) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, fmt.Errorf("store: queue is shut down")
+	}
+	q.seq++
+	job := &Job{
+		ID:         fmt.Sprintf("j%d", q.seq),
+		Kind:       kind,
+		Status:     JobPending,
+		EnqueuedAt: time.Now().UTC(),
+	}
+	select {
+	case q.ch <- queued{id: job.ID, run: run}:
+		q.jobs[job.ID] = job
+		return *job, nil
+	default:
+		return Job{}, fmt.Errorf("store: job backlog full (%d pending)", cap(q.ch))
+	}
+}
+
+// Get returns a copy of the job's current state.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *job, true
+}
+
+func (q *Queue) setRunning(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if job, ok := q.jobs[id]; ok {
+		now := time.Now().UTC()
+		job.Status = JobRunning
+		job.StartedAt = &now
+	}
+}
+
+func (q *Queue) finish(id string, result any, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return
+	}
+	now := time.Now().UTC()
+	job.FinishedAt = &now
+	switch {
+	case err == nil:
+		job.Status = JobDone
+		job.Result = result
+	case q.ctx.Err() != nil && errors.Is(err, context.Canceled):
+		job.Status = JobCanceled
+		job.Error = "canceled by shutdown"
+	default:
+		job.Status = JobFailed
+		job.Error = err.Error()
+	}
+}
+
+// Shutdown stops accepting new jobs and drains the backlog. If ctx expires
+// before the backlog drains, the remaining jobs are canceled (the running
+// job's context fires) and Shutdown returns ctx.Err(); a clean drain
+// returns nil.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+	q.mu.Unlock()
+
+	select {
+	case <-q.done:
+		return nil
+	case <-ctx.Done():
+		q.cancel()
+		<-q.done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,184 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitStatus polls until the job leaves the pending/running states.
+func waitStatus(t *testing.T, q *Queue, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		job, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if job.Status != JobPending && job.Status != JobRunning {
+			return job
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return Job{}
+}
+
+func TestQueueRunsJobsInOrder(t *testing.T) {
+	q := NewQueue(16)
+	defer q.Shutdown(context.Background())
+
+	var order []int
+	var last Job
+	for i := 0; i < 5; i++ {
+		i := i
+		job, err := q.Enqueue("ingest", func(context.Context) (any, error) {
+			order = append(order, i) // safe: single worker serializes runs
+			return i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = job
+	}
+	done := waitStatus(t, q, last.ID)
+	if done.Status != JobDone || done.Result != 4 {
+		t.Fatalf("last job = %+v", done)
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d jobs, want 5", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("run order = %v, want FIFO", order)
+		}
+	}
+	if done.StartedAt == nil || done.FinishedAt == nil || done.FinishedAt.Before(*done.StartedAt) {
+		t.Errorf("timestamps = %+v", done)
+	}
+}
+
+func TestQueueFailedJob(t *testing.T) {
+	q := NewQueue(4)
+	defer q.Shutdown(context.Background())
+	job, err := q.Enqueue("ingest", func(context.Context) (any, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitStatus(t, q, job.ID)
+	if done.Status != JobFailed || done.Error != "boom" {
+		t.Fatalf("job = %+v", done)
+	}
+}
+
+func TestQueueGetUnknown(t *testing.T) {
+	q := NewQueue(4)
+	defer q.Shutdown(context.Background())
+	if _, ok := q.Get("nope"); ok {
+		t.Fatal("Get returned an unknown job")
+	}
+}
+
+func TestQueueShutdownDrains(t *testing.T) {
+	q := NewQueue(16)
+	ran := 0
+	var last Job
+	for i := 0; i < 3; i++ {
+		job, err := q.Enqueue("ingest", func(context.Context) (any, error) {
+			time.Sleep(5 * time.Millisecond)
+			ran++
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = job
+	}
+	if err := q.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Errorf("shutdown drained %d of 3 jobs", ran)
+	}
+	if job, _ := q.Get(last.ID); job.Status != JobDone {
+		t.Errorf("last job = %+v after drain", job)
+	}
+	if _, err := q.Enqueue("ingest", func(context.Context) (any, error) { return nil, nil }); err == nil {
+		t.Error("Enqueue succeeded after shutdown")
+	}
+}
+
+func TestQueueShutdownCancelsSlowJob(t *testing.T) {
+	q := NewQueue(16)
+	started := make(chan struct{})
+	job, err := q.Enqueue("slow", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // runs until shutdown forces cancellation
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown reported a clean drain despite the stuck job")
+	}
+	if done, _ := q.Get(job.ID); done.Status != JobCanceled {
+		t.Errorf("job = %+v, want canceled", done)
+	}
+}
+
+func TestQueueBacklogFull(t *testing.T) {
+	q := NewQueue(1)
+	release := make(chan struct{})
+	// First job occupies the worker; fill the 1-slot backlog behind it.
+	if _, err := q.Enqueue("block", func(context.Context) (any, error) {
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	full := false
+	for i := 0; i < 3; i++ {
+		if _, err := q.Enqueue("ingest", func(context.Context) (any, error) { return nil, nil }); err != nil {
+			full = true
+			break
+		}
+	}
+	close(release)
+	if !full {
+		t.Error("queue with capacity 1 never reported a full backlog")
+	}
+	q.Shutdown(context.Background())
+}
+
+// TestQueueEnqueueShutdownRace hammers Enqueue against Shutdown; before
+// Enqueue held the mutex across its send this panicked with "send on
+// closed channel" under load.
+func TestQueueEnqueueShutdownRace(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		q := NewQueue(2)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 10; j++ {
+					// Errors (shut down / backlog full) are expected; a
+					// panic is the failure mode under test.
+					_, _ = q.Enqueue("x", func(context.Context) (any, error) { return nil, nil })
+				}
+			}()
+		}
+		if err := q.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+	}
+}
