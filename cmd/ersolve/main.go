@@ -10,7 +10,7 @@
 //	        [-blocking exact|token|sortedneighborhood|canopy]
 //	        [-train 0.10] [-regions 10] [-seed N] [-score] [-members]
 //	ersolve serve [-addr :8476] [-timeout 30s] [-max-body 33554432]
-//	        [-queue 64] [-drain 10s]
+//	        [-queue 64] [-drain 10s] [-data DIR] [-job-history 1024]
 //
 // The serve mode accepts POST /v1/resolve with an ergen dataset JSON body
 // (plus optional "strategy", "clustering", "blocking", "timeout_ms", …
@@ -19,9 +19,15 @@
 // document store fed asynchronously through POST /v1/collections (ingest
 // jobs, tracked via GET /v1/jobs/{id}) and resolved via POST
 // /v1/resolve/incremental, which re-prepares only blocks whose membership
-// changed since the previous run. On SIGINT/SIGTERM the server drains
-// in-flight requests and queued ingest jobs for up to -drain before
-// canceling what remains.
+// changed since the previous run. With -data DIR the store and every
+// configuration's incremental snapshot are durable: ingested batches are
+// journaled (and fsynced) before they are acknowledged, snapshots are
+// saved after every incremental run, and a restarted server replays the
+// journal and reloads the snapshots — its first incremental resolution
+// reuses every block instead of re-preparing the corpus. On
+// SIGINT/SIGTERM the server drains in-flight requests and queued ingest
+// jobs for up to -drain before canceling what remains, then flushes and
+// closes the data directory.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/persist"
 	"repro/internal/pipeline"
 	"repro/internal/service"
 )
@@ -172,18 +179,34 @@ func runServe(args []string) error {
 		timeout = fs.Duration("timeout", 30*time.Second, "maximum per-request resolution time")
 		maxBody = fs.Int64("max-body", 32<<20, "maximum request body bytes")
 		queue   = fs.Int("queue", 64, "ingest job backlog size")
+		history = fs.Int("job-history", 1024, "finished ingest-job records kept queryable")
 		drain   = fs.Duration("drain", 10*time.Second, "shutdown drain window for in-flight work")
+		dataDir = fs.String("data", "", "durable data directory (default in-memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *timeout,
 		MaxBodyBytes:   *maxBody,
 		QueueBuffer:    *queue,
-	})
+		JobHistory:     *history,
+	}
+	var data *persist.Data
+	if *dataDir != "" {
+		var err error
+		if data, err = persist.Open(*dataDir); err != nil {
+			return err
+		}
+		cfg.Store = data.Store
+		cfg.Snapshots = data.Snapshots
+		st := data.Store.Stats()
+		fmt.Fprintf(os.Stderr, "ersolve: data directory %s: %d collections, %d documents (version %d)\n",
+			*dataDir, st.Collections, st.Docs, st.Version)
+	}
+	srv := service.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -195,10 +218,17 @@ func runServe(args []string) error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		// First stop taking requests and let in-flight handlers finish,
-		// then drain the ingest backlog with whatever window remains.
+		// then drain the ingest backlog with whatever window remains, and
+		// finally flush and close the data directory so the last journal
+		// write and segment state land on disk.
 		err := httpSrv.Shutdown(shutdownCtx)
 		if cerr := srv.Close(shutdownCtx); err == nil && cerr != nil {
 			err = fmt.Errorf("draining ingest jobs: %w", cerr)
+		}
+		if data != nil {
+			if cerr := data.Close(); err == nil && cerr != nil {
+				err = fmt.Errorf("flushing data directory: %w", cerr)
+			}
 		}
 		done <- err
 	}()

@@ -41,7 +41,7 @@ func main() {
 	}
 
 	docs := store.NewMemStore()
-	jobs := store.NewQueue(8)
+	jobs := store.NewQueue(8, 0)
 	defer jobs.Shutdown(context.Background())
 
 	// Batch 1: everything except rivera's last 10 pages. Batch 2: the rest.

@@ -1,0 +1,403 @@
+// Package persist implements the disk backends behind `ersolve serve
+// -data`: a durable store.DocumentStore that journals every ingest batch
+// to an append-only segment log and replays it on open, and a snapshot
+// directory holding one versioned pipeline.Snapshot per resolution
+// configuration. Together they let a restarted server resume with both
+// the corpus and every configuration's incremental state intact — the
+// first incremental resolution after a restart reuses every block.
+//
+// Durability model: a batch is journaled (written and fsynced) before
+// Append returns, so an acknowledged ingest survives a crash. Replay
+// re-runs the journaled batches through the same in-memory merge the live
+// path uses, and that merge is deterministic, so the reopened store is
+// byte-identical to the pre-crash one — preserving the append-only
+// document positions incremental resolution fingerprints. Snapshot files
+// are written to a temporary file and atomically renamed into place, so a
+// crash mid-save leaves the previous snapshot intact. Corruption —
+// truncated segments, checksum mismatches, foreign or future-version
+// files — fails open (or load) with a clear error instead of quietly
+// resolving against damaged state.
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+
+	"repro/internal/corpus"
+	"repro/internal/store"
+)
+
+// segmentMagic heads every segment file; the digit is the segment format
+// version.
+const segmentMagic = "ERSEG001"
+
+// maxSegmentBytes rotates the active segment once it grows past this
+// size, bounding the cost of a damaged file and keeping replay I/O in
+// file-sized chunks. A var so tests can force rotation cheaply.
+var maxSegmentBytes int64 = 8 << 20
+
+// maxRecordBytes bounds a single journaled batch; a corrupt length field
+// fails fast instead of attempting a multi-gigabyte allocation.
+const maxRecordBytes = 1 << 30
+
+// segmentCRC is the Castagnoli table used for record checksums.
+var segmentCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Data bundles the two disk backends rooted in one -data directory.
+type Data struct {
+	// Store is the durable document store.
+	Store *Store
+	// Snapshots is the per-configuration snapshot directory.
+	Snapshots *SnapshotDir
+
+	lock *os.File
+}
+
+// Open prepares the data directory (creating it if needed), takes an
+// exclusive lock on it, replays the segment log into a fresh in-memory
+// store, and returns the durable backends. It fails with a descriptive
+// error on any sign of corruption — a truncated or damaged log is never
+// silently skipped — and when another live process already owns the
+// directory (two writers appending to one journal would interleave
+// records and destroy it). The lock is advisory (flock) and released by
+// Close or process death, so a crashed process never wedges a restart.
+func Open(dir string) (*Data, error) {
+	segDir := filepath.Join(dir, "segments")
+	snapDir := filepath.Join(dir, "snapshots")
+	for _, d := range []string{segDir, snapDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("persist: creating %s: %w", d, err)
+		}
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	st, err := openStore(segDir)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	snaps, err := NewSnapshotDir(snapDir)
+	if err != nil {
+		st.Close()
+		lock.Close()
+		return nil, err
+	}
+	return &Data{Store: st, Snapshots: snaps, lock: lock}, nil
+}
+
+// lockDir takes a non-blocking exclusive flock on DIR/lock.
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, "lock")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening lock file %s: %w", path, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: data directory %s is in use by another process (flock %s: %w)",
+			dir, path, err)
+	}
+	return f, nil
+}
+
+// Close flushes and closes the active segment and releases the directory
+// lock. Snapshot saves are self-contained (atomic per call), so only the
+// store needs a close.
+func (d *Data) Close() error {
+	err := d.Store.Close()
+	if d.lock != nil {
+		if cerr := d.lock.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("persist: releasing data directory lock: %w", cerr)
+		}
+		d.lock = nil
+	}
+	return err
+}
+
+// Store is the disk-backed DocumentStore: an in-memory MemStore for reads
+// plus an append-only journal of every committed ingest batch. The
+// journal records the batches exactly as they arrived (before ID/persona
+// remapping); replay re-applies them through MemStore.Append, whose merge
+// is deterministic, reproducing the in-memory state byte for byte.
+type Store struct {
+	mu      sync.Mutex
+	mem     *store.MemStore
+	dir     string
+	seg     *os.File
+	segSeq  int
+	segSize int64
+	closed  bool
+	// failed is the sticky first journal error. After a failed or torn
+	// record write the on-disk log no longer matches what further merges
+	// would build, so the store refuses all subsequent Appends rather
+	// than letting memory and disk drift apart; reads keep working.
+	failed error
+}
+
+var _ store.DocumentStore = (*Store)(nil)
+
+// segmentPath names segment seq inside dir.
+func segmentPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.seg", seq))
+}
+
+// openStore replays every segment in dir and opens the newest one for
+// appending.
+func openStore(dir string) (*Store, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil {
+		return nil, fmt.Errorf("persist: listing segments: %w", err)
+	}
+	sort.Strings(names)
+
+	s := &Store{mem: store.NewMemStore(), dir: dir}
+	for i, name := range names {
+		if i == len(names)-1 {
+			// A crash between creating a new segment and syncing its
+			// header leaves a final file too short to hold even the
+			// magic. Such a file cannot contain any record — no
+			// acknowledged data is at stake — so it is an aborted
+			// rotation artifact, not corruption: remove it and recreate
+			// it cleanly below. Anything ≥ header-sized still gets the
+			// full magic/framing checks.
+			if info, err := os.Stat(name); err == nil && info.Size() < int64(len(segmentMagic)) {
+				if err := os.Remove(name); err != nil {
+					return nil, fmt.Errorf("persist: removing aborted segment %s: %w", name, err)
+				}
+				names = names[:len(names)-1]
+				break
+			}
+		}
+		if err := s.replaySegment(name); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range names {
+		var seq int
+		if _, err := fmt.Sscanf(filepath.Base(name), "%d.seg", &seq); err == nil && seq > s.segSeq {
+			s.segSeq = seq
+		}
+	}
+
+	if len(names) > 0 {
+		// Append to the newest segment rather than opening a new one per
+		// process start.
+		last := names[len(names)-1]
+		f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("persist: opening %s for append: %w", last, err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: sizing %s: %w", last, err)
+		}
+		s.seg, s.segSize = f, info.Size()
+		return s, nil
+	}
+	if err := s.startSegment(1); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// startSegment creates segment seq with its header and makes it the
+// active one. The containing directory is fsynced too: without that, a
+// power loss can erase the directory entry of a freshly created segment
+// and with it every batch acked into it — the exact loss the
+// fsync-before-ack contract rules out.
+func (s *Store) startSegment(seq int) error {
+	path := segmentPath(s.dir, seq)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating segment %s: %w", path, err)
+	}
+	if _, err := f.WriteString(segmentMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: writing %s header: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: syncing %s header: %w", path, err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.seg, s.segSeq, s.segSize = f, seq, int64(len(segmentMagic))
+	return nil
+}
+
+// syncDir fsyncs a directory so entries created or renamed into it
+// survive a power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: opening %s for sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}
+
+// replaySegment re-applies every journaled batch of one segment file.
+// Structural damage — a bad header, a truncated record, a checksum
+// mismatch — is an error: the log is the durable corpus, and resolving
+// against a silently shortened one would violate the append-only
+// contract.
+func (s *Store) replaySegment(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("persist: opening segment %s: %w", path, err)
+	}
+	defer f.Close()
+
+	header := make([]byte, len(segmentMagic))
+	if _, err := io.ReadFull(f, header); err != nil {
+		return fmt.Errorf("persist: segment %s: truncated header: %w", path, err)
+	}
+	if string(header) != segmentMagic {
+		return fmt.Errorf("persist: segment %s: bad magic %q (foreign file or unsupported segment version)",
+			path, header)
+	}
+
+	offset := int64(len(segmentMagic))
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			if err == io.EOF {
+				return nil // clean record boundary
+			}
+			return fmt.Errorf("persist: segment %s: truncated record frame at offset %d: %w", path, offset, err)
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length > maxRecordBytes {
+			return fmt.Errorf("persist: segment %s: record at offset %d declares %d bytes (corrupt length)",
+				path, offset, length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return fmt.Errorf("persist: segment %s: truncated record payload at offset %d: %w", path, offset, err)
+		}
+		if got := crc32.Checksum(payload, segmentCRC); got != sum {
+			return fmt.Errorf("persist: segment %s: record at offset %d: checksum %08x, frame declares %08x",
+				path, offset, got, sum)
+		}
+		var batch []*corpus.Collection
+		if err := json.Unmarshal(payload, &batch); err != nil {
+			return fmt.Errorf("persist: segment %s: record at offset %d: %w", path, offset, err)
+		}
+		if _, err := s.mem.Append(batch); err != nil {
+			return fmt.Errorf("persist: segment %s: replaying record at offset %d: %w", path, offset, err)
+		}
+		offset += 8 + int64(length)
+	}
+}
+
+// Append implements store.DocumentStore as a write-ahead log: the batch
+// is validated, journaled (written and fsynced), and only then merged in
+// memory — so a failed journal write rejects the batch with the live
+// store untouched, and memory and disk can never diverge. Validation
+// first guarantees the post-journal merge cannot fail (ValidateBatch is
+// exactly Append's acceptance check). Holding one lock across both steps
+// keeps the journal order identical to the merge order.
+func (s *Store) Append(cols []*corpus.Collection) (int, error) {
+	if err := store.ValidateBatch(cols); err != nil {
+		return 0, err
+	}
+	payload, err := json.Marshal(cols)
+	if err != nil {
+		return 0, fmt.Errorf("persist: encoding batch: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("persist: batch is %d bytes, the journal caps records at %d", len(payload), maxRecordBytes)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("persist: store is closed")
+	}
+	if s.failed != nil {
+		return 0, fmt.Errorf("persist: store is read-only after a journal failure: %w", s.failed)
+	}
+	if s.segSize >= maxSegmentBytes {
+		if err := s.rotate(); err != nil {
+			// Rotation may have closed the old segment without opening
+			// a new one; no journal is writable, so poison the store.
+			s.failed = err
+			return 0, err
+		}
+	}
+	record := make([]byte, 0, 8+len(payload))
+	record = binary.LittleEndian.AppendUint32(record, uint32(len(payload)))
+	record = binary.LittleEndian.AppendUint32(record, crc32.Checksum(payload, segmentCRC))
+	record = append(record, payload...)
+	if _, err := s.seg.Write(record); err != nil {
+		// The journal may now hold a torn record. The batch was NOT
+		// merged, so the live store still matches the replayable prefix
+		// of the log; poisoning the store keeps it that way.
+		s.failed = err
+		return 0, fmt.Errorf("persist: journaling batch: %w", err)
+	}
+	if err := s.seg.Sync(); err != nil {
+		// The record is written but its durability is unknown; merging
+		// it would risk memory holding a batch a restart cannot replay.
+		s.failed = err
+		return 0, fmt.Errorf("persist: syncing journal: %w", err)
+	}
+	s.segSize += int64(len(record))
+	return s.mem.Append(cols)
+}
+
+// rotate closes the active segment and starts the next one.
+func (s *Store) rotate() error {
+	if err := s.seg.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing segment before rotation: %w", err)
+	}
+	if err := s.seg.Close(); err != nil {
+		return fmt.Errorf("persist: closing segment before rotation: %w", err)
+	}
+	return s.startSegment(s.segSeq + 1)
+}
+
+// Snapshot implements store.DocumentStore.
+func (s *Store) Snapshot() ([]*corpus.Collection, uint64) {
+	return s.mem.Snapshot()
+}
+
+// Stats implements store.DocumentStore.
+func (s *Store) Stats() store.Stats {
+	return s.mem.Stats()
+}
+
+// Close flushes and closes the active segment; further Appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.seg.Sync(); err != nil {
+		s.seg.Close()
+		return fmt.Errorf("persist: syncing segment on close: %w", err)
+	}
+	if err := s.seg.Close(); err != nil {
+		return fmt.Errorf("persist: closing segment: %w", err)
+	}
+	return nil
+}

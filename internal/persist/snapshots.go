@@ -1,0 +1,205 @@
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// snapFileMagic heads every snapshot file; the digit is the envelope
+// format version. The envelope records which configuration key the
+// snapshot belongs to; the pipeline codec inside carries its own format
+// version and checksum.
+const snapFileMagic = "ERSNF001"
+
+// maxSnapshotKeyBytes bounds the envelope's key field so a corrupt length
+// cannot drive a huge allocation.
+const maxSnapshotKeyBytes = 1 << 16
+
+// defaultMaxSnapshotFiles caps how many configurations keep a snapshot
+// file. Knobs include client-chosen values (seed, train fraction), so
+// without a cap a client iterating seeds would grow the directory — each
+// file holding every block's matrices — without bound.
+const defaultMaxSnapshotFiles = 64
+
+// SnapshotDir stores one encoded pipeline.Snapshot per resolution
+// configuration, each in its own file named by a hash of the
+// configuration key. Saves are atomic (temp file + rename), so a crash
+// mid-save leaves the previous snapshot intact; the configuration key is
+// recorded inside the file and verified on load, so a hash collision or a
+// misplaced file is detected instead of resolving with foreign state.
+// Concurrent saves need no lock: each Save writes a unique temp file and
+// publishes it with an atomic rename, and the service layer already
+// serializes runs (and therefore saves) of the same configuration.
+type SnapshotDir struct {
+	dir string
+	// MaxFiles bounds the number of .snap files kept; after each save the
+	// oldest files beyond the cap are pruned (best effort). Values < 1
+	// select defaultMaxSnapshotFiles.
+	MaxFiles int
+}
+
+// NewSnapshotDir returns a snapshot directory rooted at dir, creating it
+// if needed and sweeping temp files orphaned by a crash mid-save (no
+// concurrent Save can race construction). Open wires one up
+// automatically; this constructor exists for callers embedding the
+// snapshot store without the segment log.
+func NewSnapshotDir(dir string) (*SnapshotDir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating %s: %w", dir, err)
+	}
+	if orphans, err := filepath.Glob(filepath.Join(dir, ".snap-*")); err == nil {
+		for _, name := range orphans {
+			_ = os.Remove(name)
+		}
+	}
+	return &SnapshotDir{dir: dir}, nil
+}
+
+// path names the snapshot file of one configuration key.
+func (d *SnapshotDir) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:12])+".snap")
+}
+
+// Save atomically writes the snapshot for one configuration key. The
+// envelope and codec stream straight into the temp file (the codec's
+// internal payload buffer is the only in-memory copy), and the previous
+// file, if any, is replaced only after the new one is fully written and
+// synced.
+func (d *SnapshotDir) Save(key string, snap *pipeline.Snapshot) error {
+	if len(key) > maxSnapshotKeyBytes {
+		return fmt.Errorf("persist: snapshot key is %d bytes, cap is %d", len(key), maxSnapshotKeyBytes)
+	}
+	tmp, err := os.CreateTemp(d.dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("persist: creating snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	var envelope bytes.Buffer
+	envelope.WriteString(snapFileMagic)
+	var klen [4]byte
+	binary.LittleEndian.PutUint32(klen[:], uint32(len(key)))
+	envelope.Write(klen[:])
+	envelope.WriteString(key)
+	if _, err := tmp.Write(envelope.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: writing snapshot envelope: %w", err)
+	}
+	if err := pipeline.EncodeSnapshot(tmp, snap); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: closing snapshot temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		return fmt.Errorf("persist: publishing snapshot: %w", err)
+	}
+	// Sync the directory so the rename itself survives a crash; a save
+	// whose durability is not established must not report success.
+	if err := syncDir(d.dir); err != nil {
+		return err
+	}
+	d.prune()
+	return nil
+}
+
+// Touch refreshes the recency of key's snapshot file so mtime-ordered
+// pruning does not evict the busiest configuration (whose file is
+// otherwise never rewritten thanks to unchanged-run save skipping). It
+// fails when the file is absent — pruned or never saved — which tells
+// the caller to do a full Save instead.
+func (d *SnapshotDir) Touch(key string) error {
+	now := time.Now()
+	if err := os.Chtimes(d.path(key), now, now); err != nil {
+		return fmt.Errorf("persist: refreshing snapshot recency: %w", err)
+	}
+	return nil
+}
+
+// prune removes the oldest snapshot files beyond the cap, best effort: a
+// pruning failure never fails the save that triggered it.
+func (d *SnapshotDir) prune() {
+	limit := d.MaxFiles
+	if limit < 1 {
+		limit = defaultMaxSnapshotFiles
+	}
+	names, err := filepath.Glob(filepath.Join(d.dir, "*.snap"))
+	if err != nil || len(names) <= limit {
+		return
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	files := make([]aged, 0, len(names))
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{name: name, mod: info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	for i := 0; i+limit < len(files); i++ {
+		_ = os.Remove(files[i].name)
+	}
+}
+
+// Load reads the snapshot saved for key and decodes it against pl (which
+// must be configured identically to the pipeline that produced it — the
+// key is the caller's encoding of that configuration). A missing file
+// returns (nil, nil): no snapshot is not an error. A present-but-damaged
+// file returns the codec's typed error so the caller can distinguish
+// version skew (pipeline.ErrSnapshotVersion) from corruption.
+func (d *SnapshotDir) Load(key string, pl *pipeline.Pipeline) (*pipeline.Snapshot, error) {
+	f, err := os.Open(d.path(key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening snapshot: %w", err)
+	}
+	defer f.Close()
+
+	header := make([]byte, len(snapFileMagic)+4)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, fmt.Errorf("persist: snapshot %s: truncated envelope: %w", d.path(key), err)
+	}
+	if string(header[:len(snapFileMagic)]) != snapFileMagic {
+		return nil, fmt.Errorf("persist: snapshot %s: bad magic %q (foreign file or unsupported envelope version)",
+			d.path(key), header[:len(snapFileMagic)])
+	}
+	klen := binary.LittleEndian.Uint32(header[len(snapFileMagic):])
+	if klen > maxSnapshotKeyBytes {
+		return nil, fmt.Errorf("persist: snapshot %s: key length %d is corrupt", d.path(key), klen)
+	}
+	gotKey := make([]byte, klen)
+	if _, err := io.ReadFull(f, gotKey); err != nil {
+		return nil, fmt.Errorf("persist: snapshot %s: truncated key: %w", d.path(key), err)
+	}
+	if string(gotKey) != key {
+		return nil, fmt.Errorf("persist: snapshot %s was saved for configuration %q, not %q",
+			d.path(key), gotKey, key)
+	}
+	snap, err := pl.DecodeSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("persist: snapshot %s: %w", d.path(key), err)
+	}
+	return snap, nil
+}

@@ -1,0 +1,286 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/simfn"
+)
+
+// snapshotCorpus is the incremental corpus plus a one-document collection,
+// so snapshots carry a trivial cached block (nil prepared state) alongside
+// full ones.
+func snapshotCorpus(t *testing.T) []*corpus.Collection {
+	t.Helper()
+	cols := incrementalCollections(t)
+	cols = append(cols, &corpus.Collection{
+		Name:        "solo",
+		Docs:        []corpus.Document{{ID: 0, URL: "http://solo.example/p", Text: "solo page", PersonaID: 0}},
+		NumPersonas: 1,
+	})
+	return cols
+}
+
+func encodeToBytes(t *testing.T, snap *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTrip pins the persistence guarantee: a decoded snapshot
+// behaves exactly like the in-memory one it was encoded from — every block
+// reuses, clusters are identical, and the cached prepared state still
+// drives identical analyses.
+func TestSnapshotRoundTrip(t *testing.T) {
+	cols := snapshotCorpus(t)
+	pl := incrementalPipeline(t, "exact", "best", "closure")
+	ctx := context.Background()
+
+	run1, err := pl.RunIncremental(ctx, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := pl.DecodeSnapshot(bytes.NewReader(encodeToBytes(t, run1.Snapshot)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Blocks() != run1.Snapshot.Blocks() {
+		t.Fatalf("decoded %d blocks, encoded %d", decoded.Blocks(), run1.Snapshot.Blocks())
+	}
+
+	// Resolving the same corpus from the decoded snapshot must reuse every
+	// block and reproduce the clusters bit for bit.
+	reRun, err := pl.RunIncremental(ctx, cols, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reRun.Stats.Reused != reRun.Stats.Blocks || reRun.Stats.Prepared != 0 {
+		t.Fatalf("post-decode stats = %+v, want all %d blocks reused", reRun.Stats, reRun.Stats.Blocks)
+	}
+	for i := range run1.Results {
+		a, b := run1.Results[i], reRun.Results[i]
+		if !reflect.DeepEqual(a.Resolution.Labels, b.Resolution.Labels) {
+			t.Errorf("block %q: decoded labels %v != original %v", a.Block.Name, b.Resolution.Labels, a.Resolution.Labels)
+		}
+		if (a.Score == nil) != (b.Score == nil) || (a.Score != nil && *a.Score != *b.Score) {
+			t.Errorf("block %q: decoded score %v != original %v", a.Block.Name, b.Score, a.Score)
+		}
+	}
+
+	// The decoded prepared state must still be runnable: a fresh analysis
+	// from it resolves identically to one from the original.
+	for fp, cb := range run1.Snapshot.entries {
+		dcb := decoded.entries[fp]
+		if dcb == nil {
+			t.Fatalf("fingerprint %016x missing after decode", fp)
+		}
+		if (cb.prep == nil) != (dcb.prep == nil) {
+			t.Fatalf("fingerprint %016x: prep nil-ness changed across decode", fp)
+		}
+		if cb.prep == nil {
+			continue
+		}
+		for id, m := range cb.prep.Matrices {
+			dm := dcb.prep.Matrices[id]
+			if dm == nil || !reflect.DeepEqual(m.Values(), dm.Values()) {
+				t.Fatalf("fingerprint %016x: matrix %s changed across decode", fp, id)
+			}
+		}
+		a1, err := cb.prep.Run(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := dcb.prep.Run(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := a1.BestAnyCriterion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := a2.BestAnyCriterion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1.Labels, r2.Labels) || r1.Source != r2.Source {
+			t.Errorf("fingerprint %016x: decoded prep resolves to %v (%s), original %v (%s)",
+				fp, r2.Labels, r2.Source, r1.Labels, r1.Source)
+		}
+	}
+
+	// Growing the corpus after a decode must behave like growing it from
+	// the live snapshot: only the dirty blocks re-prepare.
+	grown := append(append([]*corpus.Collection(nil), cols...), &corpus.Collection{
+		Name: "nowak",
+		Docs: []corpus.Document{
+			{ID: 0, URL: "http://a.example/x", Text: "nowak the first page", PersonaID: 0},
+			{ID: 1, URL: "http://b.example/y", Text: "nowak the second page", PersonaID: 1},
+		},
+		NumPersonas: 2,
+	})
+	fromDecoded, err := pl.RunIncremental(ctx, grown, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromLive, err := pl.RunIncremental(ctx, grown, run1.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDecoded.Stats != fromLive.Stats {
+		t.Errorf("grown-corpus stats from decoded snapshot %+v != from live snapshot %+v",
+			fromDecoded.Stats, fromLive.Stats)
+	}
+	for i := range fromLive.Results {
+		if !reflect.DeepEqual(fromDecoded.Results[i].Resolution.Labels, fromLive.Results[i].Resolution.Labels) {
+			t.Errorf("block %q: grown-corpus labels diverge after decode", fromLive.Results[i].Block.Name)
+		}
+	}
+}
+
+// TestSnapshotEncodeSeekableMatchesBuffered pins the streaming encode
+// path: writing to a seekable file (with a nonzero start offset, as the
+// persistence envelope does) must produce a record that decodes to the
+// same snapshot as the buffered path, with the patched header passing
+// length and checksum validation.
+func TestSnapshotEncodeSeekableMatchesBuffered(t *testing.T) {
+	cols := snapshotCorpus(t)
+	pl := incrementalPipeline(t, "exact", "best", "closure")
+	run, err := pl.RunIncremental(context.Background(), cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.CreateTemp(t.TempDir(), "snap-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const prefix = "envelope-bytes"
+	if _, err := f.WriteString(prefix); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeSnapshot(f, run.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(int64(len(prefix)), io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := pl.DecodeSnapshot(f)
+	if err != nil {
+		t.Fatalf("decoding the seek-encoded stream: %v", err)
+	}
+	if decoded.Blocks() != run.Snapshot.Blocks() {
+		t.Fatalf("seek path decoded %d blocks, want %d", decoded.Blocks(), run.Snapshot.Blocks())
+	}
+	again, err := pl.RunIncremental(context.Background(), cols, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.Reused != again.Stats.Blocks {
+		t.Errorf("stats after seek-encoded decode = %+v, want full reuse", again.Stats)
+	}
+}
+
+// TestSnapshotEncodeEmpty checks nil and empty snapshots round-trip to an
+// empty snapshot rather than erroring.
+func TestSnapshotEncodeEmpty(t *testing.T) {
+	pl := incrementalPipeline(t, "exact", "best", "closure")
+	for _, snap := range []*Snapshot{nil, {entries: map[uint64]*cachedBlock{}}} {
+		decoded, err := pl.DecodeSnapshot(bytes.NewReader(encodeToBytes(t, snap)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decoded.Blocks() != 0 {
+			t.Errorf("empty snapshot decoded to %d blocks", decoded.Blocks())
+		}
+	}
+}
+
+// TestSnapshotDecodeRejectsCorruption pins the crash-path behavior: a
+// truncated stream, a flipped payload bit, trailing garbage, a foreign
+// file, and a future format version must all fail with a clear, typed
+// error instead of yielding a partially decoded snapshot.
+func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
+	cols := snapshotCorpus(t)
+	pl := incrementalPipeline(t, "exact", "best", "closure")
+	run, err := pl.RunIncremental(context.Background(), cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := encodeToBytes(t, run.Snapshot)
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:10] }, ErrSnapshotCorrupt},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-11] }, ErrSnapshotCorrupt},
+		{"flipped payload bit", func(b []byte) []byte {
+			b[len(b)-5] ^= 0x40
+			return b
+		}, ErrSnapshotCorrupt},
+		{"trailing garbage", func(b []byte) []byte { return append(b, "junk"...) }, ErrSnapshotCorrupt},
+		{"foreign magic", func(b []byte) []byte {
+			copy(b, "NOTASNAP")
+			return b
+		}, ErrSnapshotCorrupt},
+		{"future version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], SnapshotFormatVersion+1)
+			return b
+		}, ErrSnapshotVersion},
+		{"empty stream", func(b []byte) []byte { return nil }, ErrSnapshotCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mutate(append([]byte(nil), good...))
+			snap, err := pl.DecodeSnapshot(bytes.NewReader(mutated))
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if snap != nil {
+				t.Fatal("corrupt stream yielded a snapshot")
+			}
+		})
+	}
+}
+
+// TestSnapshotDecodeRejectsForeignFunctionSet checks that a snapshot
+// written by a pipeline scoring a smaller similarity-function subset is
+// refused by a reader wanting matrices the writer never computed, rather
+// than silently misresolving with missing evidence.
+func TestSnapshotDecodeRejectsForeignFunctionSet(t *testing.T) {
+	cols := snapshotCorpus(t)
+	wopts := core.DefaultOptions()
+	wopts.Seed = 42
+	wopts.FunctionIDs = simfn.SubsetI4
+	writer, err := New(Config{Options: wopts, Score: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := writer.RunIncremental(context.Background(), cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := encodeToBytes(t, run.Snapshot)
+
+	reader := incrementalPipeline(t, "exact", "best", "closure") // all ten functions
+	if _, err := reader.DecodeSnapshot(bytes.NewReader(buf)); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("err = %v, want ErrSnapshotCorrupt for a missing matrix", err)
+	}
+	// The writer itself must still be able to read its own snapshot.
+	if _, err := writer.DecodeSnapshot(bytes.NewReader(buf)); err != nil {
+		t.Fatalf("writer re-reading its own snapshot: %v", err)
+	}
+}

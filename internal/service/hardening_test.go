@@ -1,0 +1,406 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+	"repro/internal/store"
+)
+
+// TestOversizedBodyIs413 is the regression test for oversized request
+// bodies answering 400: exceeding MaxBodyBytes must map
+// *http.MaxBytesError to 413 with the JSON error envelope.
+func TestOversizedBodyIs413(t *testing.T) {
+	ts := testServer(t, Config{MaxBodyBytes: 256})
+	big := fmt.Sprintf(`{"label": %q, "collections": []}`, strings.Repeat("x", 1024))
+	resp, err := http.Post(ts.URL+"/v1/resolve", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var envelope errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatalf("413 body is not the JSON error envelope: %v", err)
+	}
+	if !strings.Contains(envelope.Error, "256") {
+		t.Errorf("413 error %q does not name the limit", envelope.Error)
+	}
+}
+
+// TestTrailingGarbageRejected is the regression test for decodeJSON
+// accepting `{...}junk`: the same body that resolves cleanly must be
+// rejected with 400 once trailing bytes follow the JSON value.
+func TestTrailingGarbageRejected(t *testing.T) {
+	ts := testServer(t, Config{})
+	col := testCollection(t, 6)
+	clean, err := json.Marshal(ResolveRequest{Collections: []*corpus.Collection{col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/resolve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(clean); resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean body status = %d, want 200", resp.StatusCode)
+	}
+	for _, junk := range []string{"junk", "{}", "[1]", `"x"`} {
+		resp := post(append(append([]byte(nil), clean...), junk...))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body with trailing %q: status = %d, want 400", junk, resp.StatusCode)
+			continue
+		}
+		var envelope errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			t.Fatalf("400 body is not the JSON error envelope: %v", err)
+		}
+		if !strings.Contains(envelope.Error, "trailing") {
+			t.Errorf("error %q does not mention trailing data", envelope.Error)
+		}
+	}
+	// Trailing whitespace and newlines remain fine (curl pipelines add
+	// them routinely).
+	if resp := post(append(append([]byte(nil), clean...), " \n\t"...)); resp.StatusCode != http.StatusOK {
+		t.Errorf("trailing whitespace status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestBlocksNeverNull is the regression test for `"blocks": null`: an
+// empty result set must marshal as an empty array.
+func TestBlocksNeverNull(t *testing.T) {
+	blocks, avg := blockResults(nil, true)
+	if avg != nil {
+		t.Fatalf("average over no blocks = %+v", avg)
+	}
+	buf, err := json.Marshal(ResolveResponse{Blocks: blocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"blocks": []`) && !strings.Contains(string(buf), `"blocks":[]`) {
+		t.Fatalf("empty result marshals as %s, want \"blocks\": []", buf)
+	}
+}
+
+// TestJobRecordEvictedIs410 is the regression test for unbounded job
+// retention at the HTTP layer: with a 1-record history, the older of two
+// finished ingest jobs answers 410 Gone (not 404), while truly unknown
+// IDs stay 404.
+func TestJobRecordEvictedIs410(t *testing.T) {
+	ts := testServer(t, Config{JobHistory: 1})
+	col := testCollection(t, 8)
+
+	postBatch := func(from, to int) string {
+		t.Helper()
+		body, err := json.Marshal(CollectionsRequest{Collections: []*corpus.Collection{{
+			Name: col.Name, Docs: col.Docs[from:to], NumPersonas: col.NumPersonas,
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/collections", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status = %d", resp.StatusCode)
+		}
+		var ack CollectionsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+		return ack.JobID
+	}
+	jobStatus := func(id string) (int, store.JobStatus) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var job store.Job
+		_ = json.NewDecoder(resp.Body).Decode(&job)
+		return resp.StatusCode, job.Status
+	}
+
+	first := postBatch(0, 4)
+	second := postBatch(4, 8)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code, status := jobStatus(second); code == http.StatusOK && status == store.JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second ingest job never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if code, _ := jobStatus(first); code != http.StatusGone {
+		t.Errorf("evicted job %s status = %d, want 410", first, code)
+	}
+	if code, _ := jobStatus("j999"); code != http.StatusNotFound {
+		t.Errorf("never-issued job status = %d, want 404", code)
+	}
+}
+
+// TestStatePinnedDuringSlowRun is the regression test for the snapshot
+// LRU evicting a state whose run is still in flight. A slow run holds
+// the state's lock (exactly as a slow blocker would mid-request) while
+// other configurations churn the LRU past its cap; the pinned state must
+// survive, and a concurrent same-config acquire must get the same state
+// object — the serialize-per-config invariant.
+func TestStatePinnedDuringSlowRun(t *testing.T) {
+	srv := New(Config{MaxSnapshots: 1})
+	t.Cleanup(func() { srv.Close(context.Background()) })
+	knobs := func(seed int64) resolveKnobs { return resolveKnobs{Seed: &seed} }
+
+	// The slow run: acquired and mid-flight (lock held).
+	slow := srv.acquireState(knobs(1))
+	slow.mu.Lock()
+
+	// Meanwhile other configurations hammer the 1-entry LRU.
+	for i := int64(2); i <= 6; i++ {
+		st := srv.acquireState(knobs(i))
+		srv.releaseState(st)
+	}
+
+	// A same-config request during the slow run must serialize on the
+	// SAME state object, not conjure a second one.
+	sameCh := make(chan *incrementalState)
+	go func() {
+		st := srv.acquireState(knobs(1))
+		st.mu.Lock() // blocks until the slow run finishes
+		st.mu.Unlock()
+		sameCh <- st
+	}()
+
+	select {
+	case st := <-sameCh:
+		t.Fatalf("same-config acquire finished while the slow run held the lock (got %p, slow %p)", st, slow)
+	case <-time.After(20 * time.Millisecond):
+		// Correct: it is blocked on the pinned state's lock.
+	}
+
+	slow.mu.Unlock()
+	srv.releaseState(slow)
+	st := <-sameCh
+	if st != slow {
+		t.Fatalf("concurrent same-config run got state %p, want the pinned %p", st, slow)
+	}
+	srv.releaseState(st)
+
+	// Once unpinned, the LRU may evict it again: churn, then re-acquire.
+	churn := srv.acquireState(knobs(7))
+	srv.releaseState(churn)
+	if again := srv.acquireState(knobs(1)); again == slow {
+		t.Error("unpinned state survived LRU eviction past the cap")
+	} else {
+		srv.releaseState(again)
+	}
+}
+
+// memSnapStore is an in-memory SnapshotStore for testing the service's
+// save/load wiring without a disk.
+type memSnapStore struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	saves int
+	loads int
+}
+
+func newMemSnapStore() *memSnapStore {
+	return &memSnapStore{files: make(map[string][]byte)}
+}
+
+func (m *memSnapStore) Save(key string, snap *pipeline.Snapshot) error {
+	var buf bytes.Buffer
+	if err := pipeline.EncodeSnapshot(&buf, snap); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[key] = buf.Bytes()
+	m.saves++
+	return nil
+}
+
+func (m *memSnapStore) Touch(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[key]; !ok {
+		return fmt.Errorf("no snapshot stored for %q", key)
+	}
+	return nil
+}
+
+func (m *memSnapStore) Load(key string, pl *pipeline.Pipeline) (*pipeline.Snapshot, error) {
+	m.mu.Lock()
+	buf, ok := m.files[key]
+	if ok {
+		m.loads++
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil
+	}
+	return pl.DecodeSnapshot(bytes.NewReader(buf))
+}
+
+// TestSnapshotReloadAcrossServers exercises the restart wiring end to
+// end at the service layer: a second Server sharing the first one's
+// store and snapshot store (a restart, minus the process boundary) must
+// answer its first incremental request with every block reused and
+// clusters identical to the pre-restart run.
+func TestSnapshotReloadAcrossServers(t *testing.T) {
+	shared := store.NewMemStore()
+	snaps := newMemSnapStore()
+	col := testCollection(t, 20)
+	if _, err := shared.Append([]*corpus.Collection{col}); err != nil {
+		t.Fatal(err)
+	}
+
+	incremental := func(ts *httptest.Server, body string) IncrementalResolveResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/resolve/incremental", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("incremental status = %d", resp.StatusCode)
+		}
+		var out IncrementalResolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	ts1 := testServer(t, Config{Store: shared, Snapshots: snaps})
+	before := incremental(ts1, `{"seed": 9}`)
+	if before.Incremental.ReusedBlocks != 0 {
+		t.Fatalf("first-ever run reused %d blocks", before.Incremental.ReusedBlocks)
+	}
+	if snaps.saves == 0 {
+		t.Fatal("no snapshot was saved after a successful incremental run")
+	}
+
+	savesAfterFirstRun := snaps.saves
+	ts2 := testServer(t, Config{Store: shared, Snapshots: snaps})
+	after := incremental(ts2, `{"seed": 9}`)
+	if after.Incremental.ReusedBlocks != after.Incremental.Blocks || after.Incremental.Blocks == 0 {
+		t.Fatalf("post-restart stats = %+v, want every block reused", after.Incremental)
+	}
+	if snaps.loads == 0 {
+		t.Fatal("restarted server never loaded the persisted snapshot")
+	}
+	if snaps.saves != savesAfterFirstRun {
+		t.Errorf("an all-reused run re-saved the unchanged snapshot (%d saves, want %d)",
+			snaps.saves, savesAfterFirstRun)
+	}
+	if len(after.Blocks) != len(before.Blocks) {
+		t.Fatalf("block count changed across restart: %d vs %d", len(after.Blocks), len(before.Blocks))
+	}
+	for i := range before.Blocks {
+		a, b := before.Blocks[i], after.Blocks[i]
+		if a.Name != b.Name || !jsonEqual(t, a.Labels, b.Labels) {
+			t.Errorf("block %q: clusters changed across restart", a.Name)
+		}
+	}
+
+	// "fresh": true ignores the persisted snapshot but still saves a new
+	// one, and its clusters agree with the reused ones (the equivalence
+	// guarantee).
+	ts3 := testServer(t, Config{Store: shared, Snapshots: snaps})
+	fresh := incremental(ts3, `{"seed": 9, "fresh": true}`)
+	if fresh.Incremental.ReusedBlocks != 0 {
+		t.Fatalf("fresh run reused %d blocks", fresh.Incremental.ReusedBlocks)
+	}
+	for i := range before.Blocks {
+		if !jsonEqual(t, before.Blocks[i].Labels, fresh.Blocks[i].Labels) {
+			t.Errorf("block %q: fresh clusters diverge from persisted-incremental ones", before.Blocks[i].Name)
+		}
+	}
+}
+
+// TestFreshRunDoesNotForfeitPersistedSnapshot pins the load-once logic:
+// a "fresh" request skips the persisted-snapshot load but must not
+// consume the single load attempt. The regression scenario: the first
+// post-restart request for a configuration is fresh and FAILS (times
+// out), leaving no in-memory snapshot — the next non-fresh request must
+// still load the persisted snapshot and reuse every block, not
+// re-prepare the corpus for the rest of the process lifetime.
+func TestFreshRunDoesNotForfeitPersistedSnapshot(t *testing.T) {
+	shared := store.NewMemStore()
+	snaps := newMemSnapStore()
+	if _, err := shared.Append([]*corpus.Collection{testCollection(t, 60)}); err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(ts *httptest.Server, body string) (int, IncrementalResolveResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/resolve/incremental", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out IncrementalResolveResponse
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	// Seed the persisted snapshot, then "restart".
+	ts1 := testServer(t, Config{Store: shared, Snapshots: snaps})
+	if code, _ := post(ts1, `{"seed": 3}`); code != http.StatusOK {
+		t.Fatalf("seeding run status = %d", code)
+	}
+
+	ts2 := testServer(t, Config{Store: shared, Snapshots: snaps})
+	// First post-restart request: fresh with a 1ms budget — preparing a
+	// 60-document block (1770 pairs × 10 functions) cannot finish, so
+	// the run dies with 504 and no snapshot in memory.
+	if code, _ := post(ts2, `{"seed": 3, "fresh": true, "timeout_ms": 1}`); code != http.StatusGatewayTimeout {
+		t.Fatalf("sabotaged fresh run status = %d, want 504", code)
+	}
+	// The persisted snapshot must still be loadable now.
+	code, got := post(ts2, `{"seed": 3}`)
+	if code != http.StatusOK {
+		t.Fatalf("post-fresh run status = %d", code)
+	}
+	if got.Incremental.ReusedBlocks != got.Incremental.Blocks || got.Incremental.Blocks == 0 {
+		t.Fatalf("post-fresh stats = %+v, want full reuse from the persisted snapshot", got.Incremental)
+	}
+}
+
+func jsonEqual(t *testing.T, a, b any) bool {
+	t.Helper()
+	ab, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(ab, bb)
+}

@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"mime"
 	"net/http"
 	"strings"
@@ -42,11 +44,42 @@ type Config struct {
 	QueueBuffer int
 	// MaxSnapshots caps how many knob configurations keep an incremental
 	// snapshot (each retains the prepared state of every block); the
-	// least-recently-used is evicted beyond the cap. Zero selects 16.
+	// least-recently-used is evicted beyond the cap, except states pinned
+	// by an in-flight run. Zero selects 16.
 	MaxSnapshots int
+	// JobHistory bounds how many finished ingest-job records stay
+	// queryable via GET /v1/jobs/{id}; older records answer 410 Gone.
+	// Zero selects 1024.
+	JobHistory int
 	// Store is the document store behind the ingest endpoints; nil
 	// selects a fresh in-memory store.
 	Store store.DocumentStore
+	// Snapshots optionally persists each configuration's incremental
+	// snapshot (internal/persist.SnapshotDir is the disk implementation).
+	// When set, every successful incremental run saves its snapshot
+	// through it, and a configuration's first run after a restart loads
+	// the saved snapshot back — so the first POST /v1/resolve/incremental
+	// after a restart reuses every unchanged block. A damaged or
+	// version-skewed saved snapshot degrades that run to a full
+	// resolution (results stay correct) and is reported through ErrorLog.
+	Snapshots SnapshotStore
+	// ErrorLog receives background persistence failures (snapshot
+	// save/load); nil selects log.Printf.
+	ErrorLog func(format string, args ...any)
+}
+
+// SnapshotStore persists per-configuration incremental snapshots. Load
+// returns (nil, nil) when no snapshot is saved under the key; it decodes
+// against the pipeline that will consume the snapshot, which must be
+// configured identically to the one that saved it — the service keys
+// snapshots by the effective-knobs string to guarantee exactly that.
+// Touch marks the key's stored snapshot as recently used without
+// rewriting it (backends may garbage-collect by recency); it fails when
+// nothing is stored under the key, telling the service to Save in full.
+type SnapshotStore interface {
+	Load(key string, pl *pipeline.Pipeline) (*pipeline.Snapshot, error)
+	Save(key string, snap *pipeline.Snapshot) error
+	Touch(key string) error
 }
 
 // Server resolves posted collections through the streaming pipeline.
@@ -65,8 +98,26 @@ type Server struct {
 type incrementalState struct {
 	mu   sync.Mutex
 	snap *pipeline.Snapshot
+	// loadTried marks that the persisted snapshot (if any) was already
+	// loaded or found unusable, so it is read at most once per state;
+	// guarded by mu.
+	loadTried bool
+	// stored marks that the snapshot store holds this state's current
+	// snapshot (last Save succeeded, or it was just loaded from there);
+	// unchanged-run save skipping is only valid while this is true.
+	// Guarded by mu.
+	stored bool
+	// key is the effective-knobs string this state (and its persisted
+	// snapshot) is filed under.
+	key string
 	// lastUsed orders LRU eviction; guarded by Server.statesMu.
 	lastUsed time.Time
+	// refs counts in-flight runs using this state; eviction skips pinned
+	// states so a long run can never have its snapshot dropped — or a
+	// concurrent same-config request handed a second state object,
+	// breaking the serialize-per-config invariant. Guarded by
+	// Server.statesMu.
+	refs int
 }
 
 // New applies the config defaults and returns a server. The server owns a
@@ -84,10 +135,13 @@ func New(cfg Config) *Server {
 	if cfg.MaxSnapshots <= 0 {
 		cfg.MaxSnapshots = 16
 	}
+	if cfg.ErrorLog == nil {
+		cfg.ErrorLog = log.Printf
+	}
 	s := &Server{
 		cfg:    cfg,
 		store:  cfg.Store,
-		jobs:   store.NewQueue(cfg.QueueBuffer),
+		jobs:   store.NewQueue(cfg.QueueBuffer, cfg.JobHistory),
 		states: make(map[string]*incrementalState),
 	}
 	if s.store == nil {
@@ -299,12 +353,32 @@ func jsonBody(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
-// decodeJSON decodes the bounded request body, answering false after
-// writing a 400 on malformed input.
+// decodeJSON decodes the bounded request body: 413 when the body exceeds
+// the server's size cap, 400 on malformed input or trailing data after
+// the JSON value (a request like `{...}garbage` is rejected, not silently
+// half-read), false in every error case.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	tooLarge := func(err error) bool {
+		var maxErr *http.MaxBytesError
+		if !errors.As(err, &maxErr) {
+			return false
+		}
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("request body exceeds the %d-byte limit", maxErr.Limit)})
+		return true
+	}
 	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		if !tooLarge(err) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		}
+		return false
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		if !tooLarge(err) {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: "request body has trailing data after the JSON value"})
+		}
 		return false
 	}
 	return true
@@ -374,19 +448,11 @@ func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Fail fast in the request, not the job: the store's validation is
-	// cheap enough to run twice.
-	for _, col := range req.Collections {
-		if col == nil || col.Name == "" {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "every collection needs a name"})
-			return
-		}
-		for i, d := range col.Docs {
-			if d.PersonaID < 0 {
-				writeJSON(w, http.StatusBadRequest, errorResponse{
-					Error: fmt.Sprintf("collection %q doc %d has negative persona %d", col.Name, i, d.PersonaID)})
-				return
-			}
-		}
+	// cheap enough to run twice, and sharing ValidateBatch keeps this
+	// fast path from ever drifting out of sync with what Append accepts.
+	if err := store.ValidateBatch(req.Collections); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
 	}
 
 	job, err := s.jobs.Enqueue("ingest", func(context.Context) (any, error) {
@@ -415,12 +481,16 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "job paths look like /v1/jobs/{id}"})
 		return
 	}
-	job, ok := s.jobs.Get(id)
-	if !ok {
+	job, outcome := s.jobs.Get(id)
+	switch outcome {
+	case store.GetFound:
+		writeJSON(w, http.StatusOK, job)
+	case store.GetEvicted:
+		writeJSON(w, http.StatusGone, errorResponse{
+			Error: fmt.Sprintf("job %q finished and its record aged out of the bounded history; poll jobs sooner or raise the history limit", id)})
+	default:
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown job %q", id)})
-		return
 	}
-	writeJSON(w, http.StatusOK, job)
 }
 
 func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request) {
@@ -438,10 +508,14 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 	}
 
 	// One snapshot per knob configuration; same-config runs serialize so
-	// each sees its predecessor's snapshot. The store snapshot is taken
-	// under the state lock, so a run can never overwrite the state with
+	// each sees its predecessor's snapshot. The state is pinned (refs)
+	// for the duration of the run, so the LRU can never evict it — and
+	// hand a concurrent same-config request a second state object —
+	// while the run holds its lock. The store snapshot is taken under
+	// the state lock, so a run can never overwrite the state with
 	// results for an older store version than its predecessor saw.
-	state := s.stateFor(req.resolveKnobs)
+	state := s.acquireState(req.resolveKnobs)
+	defer s.releaseState(state)
 	state.mu.Lock()
 	defer state.mu.Unlock()
 
@@ -456,6 +530,28 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 		return
 	}
 	prev := state.snap
+	if prev == nil && !state.loadTried && s.cfg.Snapshots != nil && !req.Fresh {
+		// First non-fresh use of this configuration since the server
+		// started: pick up where the previous process left off. A
+		// missing snapshot is normal; a damaged or version-skewed one
+		// degrades this run to a full resolution and is logged, never
+		// served. A fresh request does not consume the one load attempt:
+		// if it fails mid-run, the persisted snapshot still serves the
+		// next non-fresh request.
+		state.loadTried = true
+		loaded, err := s.cfg.Snapshots.Load(state.key, pl)
+		if err != nil {
+			s.cfg.ErrorLog("service: loading snapshot for %q: %v", state.key, err)
+		} else {
+			prev = loaded
+			// Cache the loaded snapshot immediately: if this run dies
+			// (timeout, cancellation) before producing its own, the next
+			// request still starts from the persisted state instead of
+			// forfeiting the restart head-start.
+			state.snap = loaded
+			state.stored = loaded != nil
+		}
+	}
 	if req.Fresh {
 		prev = nil
 	}
@@ -470,6 +566,31 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 		return
 	}
 	state.snap = inc.Snapshot
+	if s.cfg.Snapshots != nil {
+		// Persist before answering, so an acknowledged run's snapshot
+		// survives a crash. A save failure loses only the restart
+		// head-start, not correctness. When the run changed nothing —
+		// every block reused and the block set identical to prev's — the
+		// stored snapshot is already semantically equal; Touch it (so
+		// recency-based backend GC keeps the busiest configurations)
+		// instead of rewriting megabytes per steady-state poll. The skip
+		// requires the previous store write to have succeeded
+		// (state.stored) and the Touch to find the entry; either failing
+		// falls back to a full Save, so a transient store error or a
+		// GC'd entry never disables durability for the rest of the
+		// process lifetime.
+		unchanged := prev != nil && state.stored &&
+			inc.Stats.Reused == inc.Stats.Blocks &&
+			inc.Snapshot.Blocks() == prev.Blocks() &&
+			s.cfg.Snapshots.Touch(state.key) == nil
+		if !unchanged {
+			err := s.cfg.Snapshots.Save(state.key, inc.Snapshot)
+			state.stored = err == nil
+			if err != nil {
+				s.cfg.ErrorLog("service: saving snapshot for %q: %v", state.key, err)
+			}
+		}
+	}
 
 	resp := IncrementalResolveResponse{
 		Label:         req.Label,
@@ -487,12 +608,12 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// stateFor returns the incremental state of one knob configuration,
-// creating it on first use and evicting the least-recently-used state
-// beyond the snapshot cap. The key is built from the EFFECTIVE values
-// (defaults resolved), so `{}` and `{"seed":1}` share one state and an
-// explicit "seed":-1 can never alias the defaults.
-func (s *Server) stateFor(k resolveKnobs) *incrementalState {
+// knobsKey builds the effective-knobs string identifying one resolution
+// configuration — the key incremental states and persisted snapshots are
+// filed under. It is built from the EFFECTIVE values (defaults resolved),
+// so `{}` and `{"seed":1}` share one state and an explicit "seed":-1 can
+// never alias the defaults.
+func knobsKey(k resolveKnobs) string {
 	def := core.DefaultOptions()
 	strategy, clustering, blocking := k.Strategy, k.Clustering, k.Blocking
 	if strategy == "" {
@@ -514,7 +635,17 @@ func (s *Server) stateFor(k resolveKnobs) *incrementalState {
 	if k.Seed != nil {
 		seed = *k.Seed
 	}
-	key := fmt.Sprintf("%s|%s|%s|%g|%d|%d", strategy, clustering, blocking, train, regions, seed)
+	return fmt.Sprintf("%s|%s|%s|%g|%d|%d", strategy, clustering, blocking, train, regions, seed)
+}
+
+// acquireState returns the incremental state of one knob configuration,
+// creating it on first use, and pins it against eviction until the
+// matching releaseState. Eviction removes only unpinned states (a state
+// whose run is in flight never had lastUsed refreshed, so without the pin
+// a long run was the LRU's favorite victim); when every state is pinned
+// the map temporarily exceeds the cap rather than dropping live state.
+func (s *Server) acquireState(k resolveKnobs) *incrementalState {
+	key := knobsKey(k)
 
 	s.statesMu.Lock()
 	defer s.statesMu.Unlock()
@@ -524,17 +655,34 @@ func (s *Server) stateFor(k resolveKnobs) *incrementalState {
 			oldestKey := ""
 			var oldest time.Time
 			for sk, st := range s.states {
+				if st.refs > 0 {
+					continue
+				}
 				if oldestKey == "" || st.lastUsed.Before(oldest) {
 					oldestKey, oldest = sk, st.lastUsed
 				}
 			}
+			if oldestKey == "" {
+				break // every state is pinned by an in-flight run
+			}
 			delete(s.states, oldestKey)
 		}
-		state = &incrementalState{}
+		state = &incrementalState{key: key}
 		s.states[key] = state
 	}
+	state.refs++
 	state.lastUsed = time.Now()
 	return state
+}
+
+// releaseState unpins a state acquired by acquireState and refreshes its
+// LRU stamp to the run's end, so recency reflects when the state was last
+// busy, not when its run began.
+func (s *Server) releaseState(state *incrementalState) {
+	s.statesMu.Lock()
+	defer s.statesMu.Unlock()
+	state.refs--
+	state.lastUsed = time.Now()
 }
 
 // writeRunError maps a pipeline error to its HTTP reply; it answers true
@@ -602,7 +750,9 @@ func buildPipeline(req resolveKnobs) (*pipeline.Pipeline, bool, error) {
 // blockResults converts pipeline results to their response form, macro-
 // averaging the per-block scores when more than one block was scored.
 func blockResults(results []pipeline.Result, score bool) ([]BlockResult, *BlockScore) {
-	var blocks []BlockResult
+	// Always non-nil so the response marshals "blocks": [] rather than
+	// "blocks": null when nothing was resolved.
+	blocks := make([]BlockResult, 0, len(results))
 	var scores []eval.Result
 	for _, res := range results {
 		br := BlockResult{

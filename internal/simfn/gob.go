@@ -1,0 +1,39 @@
+package simfn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// matrixWire is the wire form of a Matrix: the dimension and the condensed
+// strict upper triangle. Both fields of Matrix are unexported (the
+// condensed indexing is an implementation detail), so the persistence
+// layer round-trips matrices through these gob methods.
+type matrixWire struct {
+	N    int
+	Vals []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Matrix) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(matrixWire{N: m.n, Vals: m.vals}); err != nil {
+		return nil, fmt.Errorf("simfn: encoding matrix: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Matrix) GobDecode(data []byte) error {
+	var w matrixWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("simfn: decoding matrix: %w", err)
+	}
+	if w.N < 0 || len(w.Vals) != w.N*(w.N-1)/2 {
+		return fmt.Errorf("simfn: decoding matrix: %d values for dimension %d (want %d)",
+			len(w.Vals), w.N, w.N*(w.N-1)/2)
+	}
+	m.n, m.vals = w.N, w.Vals
+	return nil
+}

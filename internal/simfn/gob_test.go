@@ -1,0 +1,52 @@
+package simfn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// TestMatrixGobRoundTrip checks every cell of the condensed triangle
+// survives a round trip bit-exactly.
+func TestMatrixGobRoundTrip(t *testing.T) {
+	m := NewMatrix(5)
+	v := 0.0
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			v += 0.07
+			m.Set(i, j, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	got := new(Matrix)
+	if err := gob.NewDecoder(&buf).Decode(got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != m.Len() || got.Pairs() != m.Pairs() {
+		t.Fatalf("decoded %d×%d (%d pairs), want %d×%d (%d pairs)",
+			got.Len(), got.Len(), got.Pairs(), m.Len(), m.Len(), m.Pairs())
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, got.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+// TestMatrixGobRejectsMismatch checks a triangle whose length contradicts
+// the dimension is refused.
+func TestMatrixGobRejectsMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(matrixWire{N: 4, Vals: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	m := new(Matrix)
+	if err := m.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decoded a matrix with 3 values for dimension 4 (want 6)")
+	}
+}

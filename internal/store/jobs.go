@@ -2,8 +2,12 @@ package store
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -41,13 +45,24 @@ type queued struct {
 
 // Queue runs enqueued jobs on a single background worker, serializing
 // mutations of the shared store so ingest order — and with it the store's
-// document positions — is the order jobs were enqueued in. Job records
-// stay queryable after completion (in-memory, for the process lifetime).
+// document positions — is the order jobs were enqueued in. Finished job
+// records stay queryable in a bounded ring (completion order, oldest
+// evicted first), so sustained ingest cannot grow the record map without
+// bound; Get reports evicted records distinctly from never-issued IDs.
 type Queue struct {
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	seq    int
 	closed bool
+	// finished ring: IDs of terminal jobs in completion order, capped at
+	// keep; the head is evicted (removed from jobs) when the cap is hit.
+	finished []string
+	keep     int
+	// epoch is a random per-process token embedded in every job ID.
+	// Durable stores make server restarts a routine, client-visible
+	// workflow; without the epoch, a pre-restart job ID would alias the
+	// new process's sequence and report some unrelated job's state.
+	epoch string
 
 	ch     chan queued
 	ctx    context.Context
@@ -57,14 +72,24 @@ type Queue struct {
 
 // NewQueue starts a queue whose backlog holds up to buffer pending jobs
 // (values < 1 select 64); Enqueue fails fast when the backlog is full
-// rather than blocking the caller.
-func NewQueue(buffer int) *Queue {
+// rather than blocking the caller. history bounds how many finished job
+// records stay queryable (values < 1 select 1024): the oldest finished
+// record is evicted beyond the cap, while pending and running jobs are
+// always retained.
+func NewQueue(buffer, history int) *Queue {
 	if buffer < 1 {
 		buffer = 64
 	}
+	if history < 1 {
+		history = 1024
+	}
+	var eb [4]byte
+	rand.Read(eb[:]) // never fails (crypto/rand contract since Go 1.24)
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
 		jobs:   make(map[string]*Job),
+		keep:   history,
+		epoch:  hex.EncodeToString(eb[:]),
 		ch:     make(chan queued, buffer),
 		ctx:    ctx,
 		cancel: cancel,
@@ -72,6 +97,11 @@ func NewQueue(buffer int) *Queue {
 	}
 	go q.worker()
 	return q
+}
+
+// jobID names job number n of this queue's epoch.
+func (q *Queue) jobID(n int) string {
+	return fmt.Sprintf("j%s-%d", q.epoch, n)
 }
 
 func (q *Queue) worker() {
@@ -97,15 +127,18 @@ func (q *Queue) Enqueue(kind string, run func(context.Context) (any, error)) (Jo
 	if q.closed {
 		return Job{}, fmt.Errorf("store: queue is shut down")
 	}
-	q.seq++
+	// The sequence number is consumed only on success, so every ID at or
+	// below q.seq names a job that really was issued — the invariant
+	// Get's evicted/unknown distinction rests on.
 	job := &Job{
-		ID:         fmt.Sprintf("j%d", q.seq),
+		ID:         q.jobID(q.seq + 1),
 		Kind:       kind,
 		Status:     JobPending,
 		EnqueuedAt: time.Now().UTC(),
 	}
 	select {
 	case q.ch <- queued{id: job.ID, run: run}:
+		q.seq++
 		q.jobs[job.ID] = job
 		return *job, nil
 	default:
@@ -113,15 +146,38 @@ func (q *Queue) Enqueue(kind string, run func(context.Context) (any, error)) (Jo
 	}
 }
 
-// Get returns a copy of the job's current state.
-func (q *Queue) Get(id string) (Job, bool) {
+// GetOutcome classifies a Get lookup.
+type GetOutcome int
+
+const (
+	// GetUnknown: the ID was never issued by this queue.
+	GetUnknown GetOutcome = iota
+	// GetFound: the job record is available.
+	GetFound
+	// GetEvicted: the job finished, but its record aged out of the
+	// bounded history ring.
+	GetEvicted
+)
+
+// Get returns a copy of the job's current state. A job that finished long
+// enough ago for its record to be evicted reports GetEvicted, letting the
+// service layer answer 410 Gone instead of an indistinguishable 404. IDs
+// from another epoch — typically another process's queue, before a server
+// restart — are GetUnknown: this queue can say nothing about them.
+func (q *Queue) Get(id string) (Job, GetOutcome) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	job, ok := q.jobs[id]
-	if !ok {
-		return Job{}, false
+	if job, ok := q.jobs[id]; ok {
+		return *job, GetFound
 	}
-	return *job, true
+	rest, hasPrefix := strings.CutPrefix(id, "j")
+	epoch, num, hasDash := strings.Cut(rest, "-")
+	if hasPrefix && hasDash && epoch == q.epoch {
+		if n, err := strconv.Atoi(num); err == nil && n >= 1 && n <= q.seq && num == strconv.Itoa(n) {
+			return Job{}, GetEvicted
+		}
+	}
+	return Job{}, GetUnknown
 }
 
 func (q *Queue) setRunning(id string) {
@@ -153,6 +209,11 @@ func (q *Queue) finish(id string, result any, err error) {
 	default:
 		job.Status = JobFailed
 		job.Error = err.Error()
+	}
+	q.finished = append(q.finished, id)
+	for len(q.finished) > q.keep {
+		delete(q.jobs, q.finished[0])
+		q.finished = q.finished[1:]
 	}
 }
 

@@ -13,9 +13,9 @@ func waitStatus(t *testing.T, q *Queue, id string) Job {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		job, ok := q.Get(id)
-		if !ok {
-			t.Fatalf("job %s disappeared", id)
+		job, outcome := q.Get(id)
+		if outcome != GetFound {
+			t.Fatalf("job %s disappeared (outcome %d)", id, outcome)
 		}
 		if job.Status != JobPending && job.Status != JobRunning {
 			return job
@@ -27,7 +27,7 @@ func waitStatus(t *testing.T, q *Queue, id string) Job {
 }
 
 func TestQueueRunsJobsInOrder(t *testing.T) {
-	q := NewQueue(16)
+	q := NewQueue(16, 0)
 	defer q.Shutdown(context.Background())
 
 	var order []int
@@ -61,7 +61,7 @@ func TestQueueRunsJobsInOrder(t *testing.T) {
 }
 
 func TestQueueFailedJob(t *testing.T) {
-	q := NewQueue(4)
+	q := NewQueue(4, 0)
 	defer q.Shutdown(context.Background())
 	job, err := q.Enqueue("ingest", func(context.Context) (any, error) {
 		return nil, fmt.Errorf("boom")
@@ -76,15 +76,98 @@ func TestQueueFailedJob(t *testing.T) {
 }
 
 func TestQueueGetUnknown(t *testing.T) {
-	q := NewQueue(4)
+	q := NewQueue(4, 0)
 	defer q.Shutdown(context.Background())
-	if _, ok := q.Get("nope"); ok {
-		t.Fatal("Get returned an unknown job")
+	if _, outcome := q.Get("nope"); outcome != GetUnknown {
+		t.Fatalf("Get(\"nope\") outcome = %d, want GetUnknown", outcome)
+	}
+	// IDs that merely look plausible but were never issued are unknown,
+	// not evicted.
+	for _, id := range []string{"j1", "j07", "j", "j-1", "j1x"} {
+		if _, outcome := q.Get(id); outcome != GetUnknown {
+			t.Errorf("Get(%q) on an empty queue = %d, want GetUnknown", id, outcome)
+		}
 	}
 }
 
+// TestQueueIDsDoNotAliasAcrossEpochs pins the restart-safety of job IDs:
+// an ID issued by one queue (one process lifetime) must be GetUnknown to
+// another queue, never resolve to an unrelated job or report evicted.
+func TestQueueIDsDoNotAliasAcrossEpochs(t *testing.T) {
+	q1 := NewQueue(4, 0)
+	defer q1.Shutdown(context.Background())
+	q2 := NewQueue(4, 0)
+	defer q2.Shutdown(context.Background())
+
+	j1, err := q1.Enqueue("ingest", func(context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := q2.Enqueue("ingest", func(context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, q1, j1.ID)
+	waitStatus(t, q2, j2.ID)
+	if j1.ID == j2.ID {
+		t.Fatalf("two queues issued the same job ID %q", j1.ID)
+	}
+	if _, outcome := q2.Get(j1.ID); outcome != GetUnknown {
+		t.Errorf("queue 2 reported %d for queue 1's job ID, want GetUnknown", outcome)
+	}
+}
+
+// TestQueueHistoryBound is the regression test for unbounded finished-job
+// retention: with a history of 3, only the three most recently finished
+// records survive; older ones report GetEvicted (they were real jobs) and
+// pending/running jobs are never evicted.
+func TestQueueHistoryBound(t *testing.T) {
+	q := NewQueue(16, 3)
+	defer q.Shutdown(context.Background())
+
+	var ids []string
+	var last Job
+	for i := 0; i < 8; i++ {
+		job, err := q.Enqueue("ingest", func(context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+		last = job
+	}
+	waitStatus(t, q, last.ID)
+
+	for _, id := range ids[:5] {
+		if _, outcome := q.Get(id); outcome != GetEvicted {
+			t.Errorf("old job %s outcome = %d, want GetEvicted", id, outcome)
+		}
+	}
+	for _, id := range ids[5:] {
+		if job, outcome := q.Get(id); outcome != GetFound || job.Status != JobDone {
+			t.Errorf("recent job %s = (%+v, %d), want a retained done record", id, job, outcome)
+		}
+	}
+
+	// A job still running is retained no matter how many jobs finish
+	// after it started... (single worker: nothing finishes while it
+	// runs); the pending→running states simply never enter the ring.
+	release := make(chan struct{})
+	running, err := q.Enqueue("slow", func(context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome := q.Get(running.ID); outcome != GetFound {
+		t.Errorf("in-flight job outcome = %d, want GetFound", outcome)
+	}
+	close(release)
+	waitStatus(t, q, running.ID)
+}
+
 func TestQueueShutdownDrains(t *testing.T) {
-	q := NewQueue(16)
+	q := NewQueue(16, 0)
 	ran := 0
 	var last Job
 	for i := 0; i < 3; i++ {
@@ -113,7 +196,7 @@ func TestQueueShutdownDrains(t *testing.T) {
 }
 
 func TestQueueShutdownCancelsSlowJob(t *testing.T) {
-	q := NewQueue(16)
+	q := NewQueue(16, 0)
 	started := make(chan struct{})
 	job, err := q.Enqueue("slow", func(ctx context.Context) (any, error) {
 		close(started)
@@ -135,7 +218,7 @@ func TestQueueShutdownCancelsSlowJob(t *testing.T) {
 }
 
 func TestQueueBacklogFull(t *testing.T) {
-	q := NewQueue(1)
+	q := NewQueue(1, 0)
 	release := make(chan struct{})
 	// First job occupies the worker; fill the 1-slot backlog behind it.
 	if _, err := q.Enqueue("block", func(context.Context) (any, error) {
@@ -163,7 +246,7 @@ func TestQueueBacklogFull(t *testing.T) {
 // closed channel" under load.
 func TestQueueEnqueueShutdownRace(t *testing.T) {
 	for i := 0; i < 30; i++ {
-		q := NewQueue(2)
+		q := NewQueue(2, 0)
 		var wg sync.WaitGroup
 		for w := 0; w < 4; w++ {
 			wg.Add(1)

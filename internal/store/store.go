@@ -71,21 +71,33 @@ func NewMemStore() *MemStore {
 	return &MemStore{byName: make(map[string]*memCollection)}
 }
 
-// Append implements DocumentStore.
-func (m *MemStore) Append(cols []*corpus.Collection) (int, error) {
+// ValidateBatch runs the exact validation Append applies before
+// committing anything. It is exported so write-ahead backends can check
+// a batch BEFORE journaling it: a batch that passes ValidateBatch is
+// guaranteed to be accepted by Append, which is what lets them journal
+// first and merge second without the two ever diverging.
+func ValidateBatch(cols []*corpus.Collection) error {
 	for _, col := range cols {
 		if col == nil {
-			return 0, fmt.Errorf("store: nil collection")
+			return fmt.Errorf("store: nil collection")
 		}
 		if col.Name == "" {
-			return 0, fmt.Errorf("store: collection has empty name")
+			return fmt.Errorf("store: collection has empty name")
 		}
 		for i, d := range col.Docs {
 			if d.PersonaID < 0 {
-				return 0, fmt.Errorf("store: collection %q doc %d has negative persona %d",
+				return fmt.Errorf("store: collection %q doc %d has negative persona %d",
 					col.Name, i, d.PersonaID)
 			}
 		}
+	}
+	return nil
+}
+
+// Append implements DocumentStore.
+func (m *MemStore) Append(cols []*corpus.Collection) (int, error) {
+	if err := ValidateBatch(cols); err != nil {
+		return 0, err
 	}
 
 	m.mu.Lock()

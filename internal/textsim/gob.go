@@ -1,0 +1,89 @@
+package textsim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The gob methods below make the packed, precomputed similarity state
+// serializable for the persistence layer (pipeline snapshot files). Both
+// types carry unexported derived state — the Vocab's intern map and the
+// PackedVector's norm/Pearson statistics — that must round-trip exactly:
+// the statistics were accumulated in lexicographic term order at pack time,
+// and re-deriving them in ID order could round differently, breaking the
+// pipeline's bit-identical reuse guarantee. The stats therefore travel in
+// the wire form instead of being recomputed on decode.
+
+// vocabWire is the wire form of a Vocab: the terms in ID order. The intern
+// map is rebuilt on decode.
+type vocabWire struct {
+	Terms []string
+}
+
+// GobEncode implements gob.GobEncoder.
+func (v *Vocab) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(vocabWire{Terms: v.terms}); err != nil {
+		return nil, fmt.Errorf("textsim: encoding vocab: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (v *Vocab) GobDecode(data []byte) error {
+	var w vocabWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("textsim: decoding vocab: %w", err)
+	}
+	ids := make(map[string]int32, len(w.Terms))
+	for i, t := range w.Terms {
+		if _, dup := ids[t]; dup {
+			return fmt.Errorf("textsim: decoding vocab: term %q interned twice", t)
+		}
+		ids[t] = int32(i)
+	}
+	v.terms = w.Terms
+	v.ids = ids
+	return nil
+}
+
+// packedVectorWire is the wire form of a PackedVector, carrying the
+// pack-time statistics verbatim.
+type packedVectorWire struct {
+	IDs     []int32
+	Weights []float64
+	Norm    float64
+	Sum     float64
+	SumSq   float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (p *PackedVector) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	w := packedVectorWire{IDs: p.IDs, Weights: p.Weights, Norm: p.norm, Sum: p.sum, SumSq: p.sumSq}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("textsim: encoding packed vector: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *PackedVector) GobDecode(data []byte) error {
+	var w packedVectorWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("textsim: decoding packed vector: %w", err)
+	}
+	if len(w.IDs) != len(w.Weights) {
+		return fmt.Errorf("textsim: decoding packed vector: %d IDs but %d weights",
+			len(w.IDs), len(w.Weights))
+	}
+	for i := 1; i < len(w.IDs); i++ {
+		if w.IDs[i-1] >= w.IDs[i] {
+			return fmt.Errorf("textsim: decoding packed vector: IDs not strictly ascending at %d", i)
+		}
+	}
+	p.IDs, p.Weights = w.IDs, w.Weights
+	p.norm, p.sum, p.sumSq = w.Norm, w.Sum, w.SumSq
+	return nil
+}

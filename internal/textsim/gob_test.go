@@ -1,0 +1,93 @@
+package textsim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// TestVocabGobRoundTrip checks the intern map is rebuilt exactly: IDs,
+// lookups and length all survive a round trip.
+func TestVocabGobRoundTrip(t *testing.T) {
+	v := NewVocab()
+	for _, term := range []string{"smith", "works", "at", "acme", "smith"} {
+		v.ID(term)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	got := NewVocab()
+	if err := gob.NewDecoder(&buf).Decode(got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != v.Len() {
+		t.Fatalf("decoded %d terms, want %d", got.Len(), v.Len())
+	}
+	for _, term := range []string{"smith", "works", "at", "acme"} {
+		want, _ := v.Lookup(term)
+		if id, ok := got.Lookup(term); !ok || id != want {
+			t.Errorf("Lookup(%q) = (%d, %v), want (%d, true)", term, id, ok, want)
+		}
+	}
+	// Interning continues from where the original left off.
+	if id := got.ID("new-term"); id != int32(v.Len()) {
+		t.Errorf("post-decode intern gave ID %d, want %d", id, v.Len())
+	}
+}
+
+// TestPackedVectorGobRoundTrip checks the pack-time statistics travel
+// bit-exactly, so decoded vectors score identically without recomputing
+// sums in a different order.
+func TestPackedVectorGobRoundTrip(t *testing.T) {
+	vocab := NewVocab()
+	a := SparseVector{"alpha": 0.3, "beta": 1.7, "gamma": 0.25}.Pack(vocab)
+	b := SparseVector{"beta": 0.9, "delta": 2.2}.Pack(vocab)
+
+	roundTrip := func(p *PackedVector) *PackedVector {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+			t.Fatal(err)
+		}
+		out := new(PackedVector)
+		if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ga, gb := roundTrip(a), roundTrip(b)
+	if ga.Norm() != a.Norm() || ga.Sum() != a.Sum() || ga.SumSquares() != a.SumSquares() {
+		t.Errorf("statistics changed: %v/%v/%v vs %v/%v/%v",
+			ga.Norm(), ga.Sum(), ga.SumSquares(), a.Norm(), a.Sum(), a.SumSquares())
+	}
+	if PackedCosine(ga, gb) != PackedCosine(a, b) ||
+		PackedPearsonSim(ga, gb) != PackedPearsonSim(a, b) ||
+		PackedExtendedJaccard(ga, gb) != PackedExtendedJaccard(a, b) {
+		t.Error("similarities changed across the gob round trip")
+	}
+}
+
+// TestPackedVectorGobRejectsMismatch checks structural validation on
+// decode.
+func TestPackedVectorGobRejectsMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(packedVectorWire{
+		IDs: []int32{1, 2}, Weights: []float64{0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := new(PackedVector)
+	if err := p.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decoded a packed vector with mismatched slice lengths")
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(packedVectorWire{
+		IDs: []int32{2, 1}, Weights: []float64{0.5, 0.6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decoded a packed vector with unsorted IDs")
+	}
+}
