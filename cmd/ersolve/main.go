@@ -8,9 +8,11 @@
 //	ersolve -in dataset.json [-strategy best|threshold|weighted|majority]
 //	        [-clustering closure|correlation]
 //	        [-blocking exact|token|sortedneighborhood|canopy]
+//	        [-keys collection|names] [-block-shards 16]
 //	        [-train 0.10] [-regions 10] [-seed N] [-score] [-members]
 //	ersolve serve [-addr :8476] [-timeout 30s] [-max-body 33554432]
 //	        [-queue 64] [-drain 10s] [-data DIR] [-job-history 1024]
+//	        [-block-shards 16]
 //
 // The serve mode accepts POST /v1/resolve with an ergen dataset JSON body
 // (plus optional "strategy", "clustering", "blocking", "timeout_ms", …
@@ -41,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
@@ -63,6 +66,8 @@ func main() {
 		strategy   = flag.String("strategy", "best", "best | threshold | weighted | majority")
 		clustering = flag.String("clustering", "closure", "closure | correlation")
 		blockingF  = flag.String("blocking", "exact", "exact | token | sortedneighborhood | canopy")
+		keysF      = flag.String("keys", "collection", "blocking keys: collection | names")
+		shards     = flag.Int("block-shards", 0, "sharded blocking index partitions (0 = default)")
 		train      = flag.Float64("train", 0.10, "training fraction")
 		regionK    = flag.Int("regions", 10, "accuracy-estimation regions")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -87,7 +92,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ersolve: -clustering:", err)
 		os.Exit(2)
 	}
-	blocker, err := pipeline.ParseBlocker(*blockingF)
+	scheme, err := blocking.ParseScheme(*blockingF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ersolve: -blocking:", err)
+		os.Exit(2)
+	}
+	keyFn, err := pipeline.ParseKeys(*keysF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ersolve: -keys:", err)
+		os.Exit(2)
+	}
+	// Key-based schemes block through the sharded index (the incremental
+	// Block stage); global schemes keep the per-run pass.
+	blocker, err := pipeline.NewBlocker(scheme, keyFn, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ersolve: -blocking:", err)
 		os.Exit(2)
@@ -182,6 +199,7 @@ func runServe(args []string) error {
 		history = fs.Int("job-history", 1024, "finished ingest-job records kept queryable")
 		drain   = fs.Duration("drain", 10*time.Second, "shutdown drain window for in-flight work")
 		dataDir = fs.String("data", "", "durable data directory (default in-memory only)")
+		shards  = fs.Int("block-shards", 0, "sharded blocking index partitions (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -193,6 +211,7 @@ func runServe(args []string) error {
 		MaxBodyBytes:   *maxBody,
 		QueueBuffer:    *queue,
 		JobHistory:     *history,
+		BlockShards:    *shards,
 	}
 	var data *persist.Data
 	if *dataDir != "" {
@@ -202,6 +221,7 @@ func runServe(args []string) error {
 		}
 		cfg.Store = data.Store
 		cfg.Snapshots = data.Snapshots
+		cfg.Indexes = data.Indexes
 		st := data.Store.Stats()
 		fmt.Fprintf(os.Stderr, "ersolve: data directory %s: %d collections, %d documents (version %d)\n",
 			*dataDir, st.Collections, st.Docs, st.Version)

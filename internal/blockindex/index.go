@@ -1,0 +1,538 @@
+// Package blockindex maintains resolution-block membership incrementally:
+// a sharded (hash-partitioned by normalized key) key→posting index plus a
+// growing union-find over key-connected components, updated as ingest
+// batches arrive instead of rebuilt per run.
+//
+// For the key-based blocking schemes (blocking.KeyedScheme: exact-key and
+// token blocking) a candidate pair exists exactly when two documents share
+// a derived index key, so appending a document only ever links it to the
+// existing members of its keys' postings — components can only merge,
+// never split, under the store's append-only contract. That makes the
+// Block stage O(delta): Update keys and hashes only the new documents
+// (in parallel), appends postings per shard (in parallel), applies the
+// resulting union edges, and recomputes membership fingerprints only for
+// the components the delta touched. Everything else — the clean blocks'
+// sorted member lists and fingerprints — is served from the per-component
+// cache.
+//
+// The index is safe for concurrent use; the pipeline's IndexBlocker wraps
+// it behind the Blocker interfaces, and internal/persist journals its
+// encoded form so a restarted server does not re-block the corpus.
+package blockindex
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blocking"
+	"repro/internal/corpus"
+	"repro/internal/ergraph"
+)
+
+// DocRef locates one ingested document by its position in the ingest: the
+// collection's index and the document's index within it. Both are stable
+// under append-only ingestion, which is what lets cached member lists
+// survive across Update calls. (pipeline.DocRef is an alias of this type.)
+type DocRef struct {
+	Col, Doc int
+}
+
+// KeyFunc derives the blocking keys of one document, before the scheme's
+// IndexKeys normalization. It must be pure: the index calls it exactly
+// once per document, at indexing time, and assumes the answer never
+// changes. (pipeline.KeyFunc converts to this type.)
+type KeyFunc func(col *corpus.Collection, doc corpus.Document) []string
+
+// DefaultShards is the shard count when Config.Shards is not positive.
+const DefaultShards = 16
+
+// ErrOutOfSync reports that the collections handed to Update contradict
+// what the index has already indexed: a collection renamed, removed or
+// shrunk. The index leans on the store's append-only contract; a corpus
+// that mutated under it cannot be incrementally maintained.
+var ErrOutOfSync = errors.New("blockindex: corpus is out of sync with the index (append-only contract violated)")
+
+// Config assembles an Index.
+type Config struct {
+	// Scheme derives each document's index keys; required.
+	Scheme blocking.KeyedScheme
+	// Keys derives each document's raw blocking keys; nil keys a document
+	// by its collection's name (the paper's scheme).
+	Keys KeyFunc
+	// Shards is the number of hash partitions of the key space; values < 1
+	// select DefaultShards.
+	Shards int
+	// Workers bounds the delta-keying and fingerprint worker pools; values
+	// < 1 select GOMAXPROCS.
+	Workers int
+}
+
+// CollectionNameKey is the default KeyFunc: one key, the collection name.
+func CollectionNameKey(col *corpus.Collection, _ corpus.Document) []string {
+	return []string{col.Name}
+}
+
+// UpdateStats reports what one Update did.
+type UpdateStats struct {
+	// DeltaDocs is the number of newly indexed documents.
+	DeltaDocs int
+	// IndexedDocs is the total number of documents in the index after the
+	// update.
+	IndexedDocs int
+	// DirtyBlocks is the number of blocks whose membership changed in this
+	// update: components that gained a document or merged.
+	DirtyBlocks int
+	// Blocks is the total number of blocks after the update.
+	Blocks int
+	// Keys is the total number of distinct index keys across all shards.
+	Keys int
+	// Shards is the shard count.
+	Shards int
+}
+
+// shard is one hash partition of the key space. Each shard is touched by
+// exactly one worker per Update, so postings need no locking.
+type shard struct {
+	postings map[string][]int32
+}
+
+// colState tracks how much of one collection is indexed.
+type colState struct {
+	name    string
+	indexed int
+}
+
+// docState is one indexed document: its stable position and its content
+// hash (blocking.DocHash), computed once at indexing time.
+type docState struct {
+	ref  DocRef
+	hash uint64
+}
+
+// blockEntry caches one component's derived state: member refs sorted by
+// (Col, Doc) — the order the pipeline assembles blocks in — and the
+// membership fingerprint over the members' content hashes in that order.
+// Entries are invalidated when their component changes and rebuilt lazily.
+type blockEntry struct {
+	refs []DocRef
+	fp   uint64
+}
+
+// Index is the sharded incremental blocking index. All methods are safe
+// for concurrent use.
+type Index struct {
+	mu      sync.Mutex
+	scheme  blocking.KeyedScheme
+	keys    KeyFunc
+	workers int
+
+	shards   []shard
+	keyCount int
+
+	cols    []colState
+	docs    []docState
+	uf      *ergraph.UnionFind
+	members [][]int32 // element → member ids while a root, nil otherwise
+	blocks  map[int32]*blockEntry
+
+	version uint64
+}
+
+// New assembles an empty index.
+func New(cfg Config) (*Index, error) {
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("blockindex: config has no keyed scheme")
+	}
+	if v, ok := cfg.Scheme.(blocking.Validator); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Keys == nil {
+		cfg.Keys = CollectionNameKey
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	x := &Index{
+		scheme:  cfg.Scheme,
+		keys:    cfg.Keys,
+		workers: cfg.Workers,
+		shards:  make([]shard, cfg.Shards),
+		uf:      ergraph.NewUnionFind(0),
+		blocks:  make(map[int32]*blockEntry),
+	}
+	for i := range x.shards {
+		x.shards[i].postings = make(map[string][]int32)
+	}
+	return x, nil
+}
+
+// shardOf hash-partitions one index key.
+func (x *Index) shardOf(key string) int {
+	return int(blocking.HashKey(key) % uint64(len(x.shards)))
+}
+
+// Version counts indexed documents; it increases exactly when the index
+// changes, so equal versions mean equal indexes (for one configuration).
+func (x *Index) Version() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.version
+}
+
+// Update indexes every document of cols not yet indexed and returns what
+// changed. cols must be the same append-only corpus the index has seen so
+// far (same collection order and names, each collection at least as long
+// as before), typically a store snapshot; anything else is ErrOutOfSync.
+func (x *Index) Update(cols []*corpus.Collection) (UpdateStats, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.update(cols)
+}
+
+func (x *Index) update(cols []*corpus.Collection) (UpdateStats, error) {
+	if len(cols) < len(x.cols) {
+		return UpdateStats{}, fmt.Errorf("%w: %d collections indexed, %d offered",
+			ErrOutOfSync, len(x.cols), len(cols))
+	}
+	for i := range cols {
+		if cols[i] == nil {
+			return UpdateStats{}, fmt.Errorf("blockindex: nil collection at %d", i)
+		}
+		if i < len(x.cols) {
+			if cols[i].Name != x.cols[i].name {
+				return UpdateStats{}, fmt.Errorf("%w: collection %d is %q, index has %q",
+					ErrOutOfSync, i, cols[i].Name, x.cols[i].name)
+			}
+			if len(cols[i].Docs) < x.cols[i].indexed {
+				return UpdateStats{}, fmt.Errorf("%w: collection %q shrank from %d to %d documents",
+					ErrOutOfSync, cols[i].Name, x.cols[i].indexed, len(cols[i].Docs))
+			}
+		}
+	}
+
+	// Gather the delta in ingest order.
+	type newDoc struct {
+		id   int32
+		ref  DocRef
+		keys []string
+		hash uint64
+	}
+	var delta []newDoc
+	for ci, col := range cols {
+		start := 0
+		if ci < len(x.cols) {
+			start = x.cols[ci].indexed
+		}
+		for di := start; di < len(col.Docs); di++ {
+			delta = append(delta, newDoc{ref: DocRef{Col: ci, Doc: di}})
+		}
+	}
+
+	stats := UpdateStats{Shards: len(x.shards)}
+	if len(delta) > 0 {
+		// Key and hash the new documents in parallel — with rich key
+		// functions (extracted person names) this is the expensive part,
+		// and it is paid once per document here, never again per run.
+		x.parallel(len(delta), func(i int) {
+			d := &delta[i]
+			col := cols[d.ref.Col]
+			doc := col.Docs[d.ref.Doc]
+			d.keys = x.scheme.IndexKeys(x.keys(col, doc))
+			d.hash = blocking.DocHash(col.Name, d.ref.Doc, doc.URL, doc.Text, doc.PersonaID)
+		})
+
+		// Grow the union-find and assign stable internal IDs.
+		for i := range delta {
+			id := int32(x.uf.Add())
+			delta[i].id = id
+			x.docs = append(x.docs, docState{ref: delta[i].ref, hash: delta[i].hash})
+			x.members = append(x.members, []int32{id})
+		}
+
+		// Partition the delta's (key, doc) pairs by shard, then let one
+		// worker per touched shard append postings and emit union edges —
+		// shard-disjoint maps make this safe without locks.
+		type kv struct {
+			key string
+			id  int32
+		}
+		type edge struct {
+			a, b int32
+		}
+		buckets := make([][]kv, len(x.shards))
+		for _, d := range delta {
+			for _, k := range d.keys {
+				s := x.shardOf(k)
+				buckets[s] = append(buckets[s], kv{key: k, id: d.id})
+			}
+		}
+		edgesPer := make([][]edge, len(x.shards))
+		newKeys := make([]int, len(x.shards))
+		x.parallel(len(x.shards), func(s int) {
+			postings := x.shards[s].postings
+			for _, item := range buckets[s] {
+				p := postings[item.key]
+				if len(p) == 0 {
+					newKeys[s]++
+				} else {
+					edgesPer[s] = append(edgesPer[s], edge{a: p[0], b: item.id})
+				}
+				postings[item.key] = append(p, item.id)
+			}
+		})
+
+		// Apply the union edges. Every edge links a new document to an
+		// existing posting member, so every dirty component contains at
+		// least one new document — the dirty set is exactly the components
+		// of the delta.
+		for s := range edgesPer {
+			for _, e := range edgesPer[s] {
+				root, absorbed, merged := x.uf.Merge(int(e.a), int(e.b))
+				if merged {
+					x.members[root] = append(x.members[root], x.members[absorbed]...)
+					x.members[absorbed] = nil
+					delete(x.blocks, int32(root))
+					delete(x.blocks, int32(absorbed))
+				}
+			}
+		}
+		dirty := make(map[int]bool)
+		for _, d := range delta {
+			root := x.uf.Find(int(d.id))
+			dirty[root] = true
+			delete(x.blocks, int32(root))
+		}
+		for _, n := range newKeys {
+			x.keyCount += n
+		}
+		stats.DirtyBlocks = len(dirty)
+	}
+
+	// Record the new high-water marks.
+	for ci, col := range cols {
+		if ci < len(x.cols) {
+			x.cols[ci].indexed = len(col.Docs)
+		} else {
+			x.cols = append(x.cols, colState{name: col.Name, indexed: len(col.Docs)})
+		}
+	}
+	x.version += uint64(len(delta))
+
+	stats.DeltaDocs = len(delta)
+	stats.IndexedDocs = len(x.docs)
+	stats.Blocks = x.uf.Sets()
+	stats.Keys = x.keyCount
+	return stats, nil
+}
+
+// Membership returns every block's member refs and membership fingerprint,
+// in block order: blocks ordered by their smallest member's (Col, Doc)
+// position, members ascending the same way — exactly the order a full
+// SchemeBlocker pass produces. Only components the last Update dirtied are
+// re-sorted and re-hashed (in parallel); the rest come from the cache. The
+// returned slices are shared with the cache and must not be mutated.
+//
+// Callers that need the membership OF a particular corpus must use
+// UpdateMembership instead: between a separate Update and Membership a
+// concurrent updater can advance the index past the caller's corpus,
+// yielding refs that point beyond it.
+func (x *Index) Membership() ([][]DocRef, []uint64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.membership()
+}
+
+// UpdateMembership indexes cols' delta and returns the resulting block
+// membership as one atomic operation, so the returned refs are guaranteed
+// to lie within cols even when concurrent updaters (a background warmer,
+// another configuration sharing the index) are advancing the index. A
+// corpus the incremental state cannot serve — already overtaken by a newer
+// snapshot — returns ErrOutOfSync exactly like Update.
+func (x *Index) UpdateMembership(cols []*corpus.Collection) (UpdateStats, [][]DocRef, []uint64, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	stats, err := x.update(cols)
+	if err != nil {
+		return stats, nil, nil, err
+	}
+	refs, fps := x.membership()
+	return stats, refs, fps, nil
+}
+
+// membership materializes the block order; callers hold x.mu.
+func (x *Index) membership() ([][]DocRef, []uint64) {
+	entries := x.entries()
+	refs := make([][]DocRef, len(entries))
+	fps := make([]uint64, len(entries))
+	for i, e := range entries {
+		refs[i] = e.refs
+		fps[i] = e.fp
+	}
+	return refs, fps
+}
+
+// MembershipOf computes the membership and fingerprints of an arbitrary
+// corpus under this index's configuration without touching the index's
+// state — a one-off full pass through a throwaway index. It is the
+// fallback for corpora the incremental state cannot serve: a snapshot
+// older than what the index has already seen (two configurations sharing
+// one index can observe the store in different orders).
+func (x *Index) MembershipOf(cols []*corpus.Collection) ([][]DocRef, []uint64, error) {
+	x.mu.Lock()
+	cfg := Config{Scheme: x.scheme, Keys: x.keys, Shards: len(x.shards), Workers: x.workers}
+	x.mu.Unlock()
+	tmp, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := tmp.Update(cols); err != nil {
+		return nil, nil, err
+	}
+	refs, fps := tmp.Membership()
+	return refs, fps, nil
+}
+
+// entries materializes the block cache for every live component and
+// returns the entries in block order. Callers hold x.mu.
+func (x *Index) entries() []*blockEntry {
+	var missing []int32
+	roots := make([]int32, 0, x.uf.Sets())
+	for id := range x.members {
+		if x.members[id] == nil {
+			continue
+		}
+		root := int32(id)
+		roots = append(roots, root)
+		if _, ok := x.blocks[root]; !ok {
+			missing = append(missing, root)
+		}
+	}
+
+	built := make([]*blockEntry, len(missing))
+	x.parallel(len(missing), func(i int) {
+		built[i] = x.buildEntry(missing[i])
+	})
+	for i, root := range missing {
+		x.blocks[root] = built[i]
+	}
+
+	entries := make([]*blockEntry, len(roots))
+	for i, root := range roots {
+		entries[i] = x.blocks[root]
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return refLess(entries[i].refs[0], entries[j].refs[0])
+	})
+	return entries
+}
+
+// buildEntry sorts one component's members by position and folds their
+// content hashes into the membership fingerprint. Reads only immutable
+// per-doc state, so it is safe to run in parallel for disjoint roots.
+func (x *Index) buildEntry(root int32) *blockEntry {
+	ids := x.members[root]
+	refs := make([]DocRef, len(ids))
+	order := make([]int32, len(ids))
+	copy(order, ids)
+	sort.Slice(order, func(i, j int) bool {
+		return refLess(x.docs[order[i]].ref, x.docs[order[j]].ref)
+	})
+	hashes := make([]uint64, len(order))
+	for i, id := range order {
+		refs[i] = x.docs[id].ref
+		hashes[i] = x.docs[id].hash
+	}
+	return &blockEntry{refs: refs, fp: blocking.CombineIDs(hashes)}
+}
+
+// refLess orders refs by (Col, Doc) — flattened ingest order.
+func refLess(a, b DocRef) bool {
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	return a.Doc < b.Doc
+}
+
+// parallel runs fn(0..n-1) over the index's worker pool.
+func (x *Index) parallel(n int, fn func(i int)) {
+	Parallel(x.workers, n, fn)
+}
+
+// Workers returns the index's worker-pool bound, fixed at construction.
+func (x *Index) Workers() int { return x.workers }
+
+// Parallel runs fn(0..n-1) over a pool of at most workers goroutines;
+// small inputs run inline. It is the shared fan-out primitive of the
+// index's delta keying, fingerprinting, and the pipeline's block
+// assembly.
+func Parallel(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if n < 2 || workers < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Stats describes the index's current shape.
+type Stats struct {
+	// Docs is the number of indexed documents.
+	Docs int `json:"docs"`
+	// Collections is the number of indexed collections.
+	Collections int `json:"collections"`
+	// Keys is the number of distinct index keys.
+	Keys int `json:"keys"`
+	// Blocks is the number of key-connected components.
+	Blocks int `json:"blocks"`
+	// ShardKeys is the number of keys per shard — the balance of the hash
+	// partitioning.
+	ShardKeys []int `json:"shard_keys"`
+	// Version counts indexed documents.
+	Version uint64 `json:"version"`
+}
+
+// Stats reports the index's current shape.
+func (x *Index) Stats() Stats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	st := Stats{
+		Docs:        len(x.docs),
+		Collections: len(x.cols),
+		Keys:        x.keyCount,
+		Blocks:      x.uf.Sets(),
+		ShardKeys:   make([]int, len(x.shards)),
+		Version:     x.version,
+	}
+	for i := range x.shards {
+		st.ShardKeys[i] = len(x.shards[i].postings)
+	}
+	return st
+}

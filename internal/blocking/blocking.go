@@ -11,6 +11,7 @@ package blocking
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -43,6 +44,32 @@ type Scheme interface {
 	Candidates(records []Record) []Pair
 }
 
+// KeyedScheme is implemented by schemes whose candidate pairs are exactly
+// "records sharing a derived index key" — no windows, no pairwise
+// similarity, just key equality. Such schemes are the ones an incremental
+// posting index (internal/blockindex) can maintain as documents arrive:
+// appending a record only ever links it to the existing members of its
+// keys' postings, so connected components — and with them the resolution
+// blocks — can be updated in O(delta) instead of rebuilt per run.
+// ExactKey and TokenBlocking are keyed; SortedNeighborhood and Canopy are
+// global (a new record can re-rank or re-seed the whole corpus) and are
+// not.
+type KeyedScheme interface {
+	Scheme
+	// IndexKeys derives the deduplicated index keys of one record from its
+	// blocking keys. Two records are candidates under the scheme if and
+	// only if their IndexKeys intersect.
+	IndexKeys(keys []string) []string
+}
+
+// Validator is implemented by schemes with parameters to sanity-check at
+// construction; pipelines validate before running so a degenerate
+// configuration fails fast instead of silently producing a useless
+// candidate set.
+type Validator interface {
+	Validate() error
+}
+
 // SchemeNames are the accepted ParseScheme spellings, in display order for
 // CLI/API usage messages.
 var SchemeNames = []string{"exact", "token", "sortedneighborhood", "canopy"}
@@ -73,20 +100,30 @@ func ParseScheme(name string) (Scheme, error) {
 type ExactKey struct{}
 
 // Candidates implements Scheme.
-func (ExactKey) Candidates(records []Record) []Pair {
+func (e ExactKey) Candidates(records []Record) []Pair {
 	buckets := make(map[string][]int)
 	for _, r := range records {
-		seen := make(map[string]bool, len(r.Keys))
-		for _, k := range r.Keys {
-			nk := normalizeKey(k)
-			if nk == "" || seen[nk] {
-				continue
-			}
-			seen[nk] = true
+		for _, nk := range e.IndexKeys(r.Keys) {
 			buckets[nk] = append(buckets[nk], r.ID)
 		}
 	}
 	return pairsFromBuckets(buckets)
+}
+
+// IndexKeys implements KeyedScheme: the deduplicated non-empty normalized
+// keys.
+func (ExactKey) IndexKeys(keys []string) []string {
+	out := make([]string, 0, len(keys))
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		nk := NormalizeKey(k)
+		if nk == "" || seen[nk] {
+			continue
+		}
+		seen[nk] = true
+		out = append(out, nk)
+	}
+	return out
 }
 
 // TokenBlocking blocks records sharing any key token, a higher-recall
@@ -99,24 +136,34 @@ type TokenBlocking struct {
 
 // Candidates implements Scheme.
 func (t TokenBlocking) Candidates(records []Record) []Pair {
+	buckets := make(map[string][]int)
+	for _, r := range records {
+		for _, tok := range t.IndexKeys(r.Keys) {
+			buckets[tok] = append(buckets[tok], r.ID)
+		}
+	}
+	return pairsFromBuckets(buckets)
+}
+
+// IndexKeys implements KeyedScheme: the deduplicated normalized key tokens
+// at or above the minimum length.
+func (t TokenBlocking) IndexKeys(keys []string) []string {
 	minLen := t.MinTokenLength
 	if minLen <= 0 {
 		minLen = 2
 	}
-	buckets := make(map[string][]int)
-	for _, r := range records {
-		seen := make(map[string]bool)
-		for _, k := range r.Keys {
-			for _, tok := range strings.Fields(normalizeKey(k)) {
-				if len(tok) < minLen || seen[tok] {
-					continue
-				}
-				seen[tok] = true
-				buckets[tok] = append(buckets[tok], r.ID)
+	var out []string
+	seen := make(map[string]bool)
+	for _, k := range keys {
+		for _, tok := range KeyTokens(k, minLen) {
+			if seen[tok] {
+				continue
 			}
+			seen[tok] = true
+			out = append(out, tok)
 		}
 	}
-	return pairsFromBuckets(buckets)
+	return out
 }
 
 // SortedNeighborhood sorts records by their smallest normalized key and
@@ -126,6 +173,22 @@ func (t TokenBlocking) Candidates(records []Record) []Pair {
 type SortedNeighborhood struct {
 	// Window is the sliding window size; values < 2 behave as 2.
 	Window int
+}
+
+// NewSortedNeighborhood validates the window size at construction: a
+// window below 2 can never pair anything and is a configuration mistake,
+// not a degenerate run.
+func NewSortedNeighborhood(window int) (SortedNeighborhood, error) {
+	s := SortedNeighborhood{Window: window}
+	return s, s.Validate()
+}
+
+// Validate implements Validator.
+func (s SortedNeighborhood) Validate() error {
+	if s.Window < 2 {
+		return fmt.Errorf("blocking: sorted neighborhood window %d cannot pair records (want >= 2)", s.Window)
+	}
+	return nil
 }
 
 // Candidates implements Scheme.
@@ -142,7 +205,7 @@ func (s SortedNeighborhood) Candidates(records []Record) []Pair {
 	for _, r := range records {
 		best := ""
 		for _, k := range r.Keys {
-			nk := normalizeKey(k)
+			nk := NormalizeKey(k)
 			if nk == "" {
 				continue
 			}
@@ -183,6 +246,28 @@ type Canopy struct {
 	Loose, Tight float64
 }
 
+// NewCanopy validates the thresholds at construction. Similarities live in
+// [0, 1], and the tight threshold must not undercut the loose one:
+// Tight < Loose removes records from seeding that never even joined a
+// canopy, silently shrinking the candidate set.
+func NewCanopy(loose, tight float64) (Canopy, error) {
+	c := Canopy{Loose: loose, Tight: tight}
+	return c, c.Validate()
+}
+
+// Validate implements Validator.
+func (c Canopy) Validate() error {
+	if c.Loose < 0 || c.Loose > 1 || c.Tight < 0 || c.Tight > 1 {
+		return fmt.Errorf("blocking: canopy thresholds loose=%g tight=%g outside [0,1] (similarities live there)",
+			c.Loose, c.Tight)
+	}
+	if c.Tight < c.Loose {
+		return fmt.Errorf("blocking: canopy tight threshold %g below loose %g would drop records from seeding without clustering them",
+			c.Tight, c.Loose)
+	}
+	return nil
+}
+
 // Candidates implements Scheme. Seeds are taken in record order, making the
 // result deterministic.
 func (c Canopy) Candidates(records []Record) []Pair {
@@ -192,7 +277,7 @@ func (c Canopy) Candidates(records []Record) []Pair {
 	}
 	keys := make([]string, len(records))
 	for i, r := range records {
-		keys[i] = normalizeKey(strings.Join(r.Keys, " "))
+		keys[i] = NormalizeKey(strings.Join(r.Keys, " "))
 	}
 	removed := make([]bool, len(records))
 	set := make(map[Pair]struct{})
@@ -250,9 +335,13 @@ func tokenJaccardKeys(a, b string) float64 {
 	return float64(inter) / float64(union)
 }
 
-func normalizeKey(k string) string {
-	// Lower-case, strip punctuation to spaces, collapse whitespace — so
-	// "Smith, John" and "john smith" normalize to comparable keys.
+// NormalizeKey canonicalizes one blocking key: lower-case, punctuation
+// stripped to spaces, whitespace collapsed — so "Smith, John" and "john
+// smith" normalize to comparable keys. It is exported because the
+// incremental posting index (internal/blockindex) and any custom KeyFunc
+// must normalize exactly the way the schemes do, or index-maintained
+// blocks would drift from scheme-computed ones.
+func NormalizeKey(k string) string {
 	mapped := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
@@ -264,6 +353,20 @@ func normalizeKey(k string) string {
 		}
 	}, k)
 	return strings.Join(strings.Fields(mapped), " ")
+}
+
+// KeyTokens returns the normalized tokens of one blocking key at or above
+// minLen, in order of appearance — the posting keys of token blocking,
+// shared with the incremental index.
+func KeyTokens(k string, minLen int) []string {
+	fields := strings.Fields(NormalizeKey(k))
+	out := fields[:0]
+	for _, tok := range fields {
+		if len(tok) >= minLen {
+			out = append(out, tok)
+		}
+	}
+	return out
 }
 
 func pairsFromBuckets(buckets map[string][]int) []Pair {
@@ -348,6 +451,18 @@ func CombineIDs(memberHashes []uint64) uint64 {
 // BlockID fingerprints a block's membership from string member keys.
 func BlockID(memberKeys []string) uint64 {
 	return HashKey(memberKeys...)
+}
+
+// DocHash fingerprints one ingested document from its identifying parts:
+// collection name, position within the collection, URL, text and persona
+// label. It is THE document identity of incremental resolution — the
+// pipeline's membership diff and the sharded blocking index must hash
+// documents identically, or index-maintained block fingerprints would
+// never match diff-computed ones and every block would look dirty.
+// Positions are stable under append-only ingestion, which the store
+// guarantees.
+func DocHash(colName string, pos int, url, text string, persona int) uint64 {
+	return HashKey(colName, strconv.Itoa(pos), url, text, strconv.Itoa(persona))
 }
 
 // Stats summarizes a candidate set against ground truth: how many true

@@ -32,9 +32,31 @@ func (uf *UnionFind) Find(x int) int {
 
 // Union merges the sets of x and y; it reports whether a merge happened.
 func (uf *UnionFind) Union(x, y int) bool {
+	_, _, merged := uf.Merge(x, y)
+	return merged
+}
+
+// Add appends one new singleton element and returns its index. It is the
+// growth primitive behind incremental structures (the sharded blocking
+// index) that extend a union-find as documents arrive instead of
+// rebuilding it per run.
+func (uf *UnionFind) Add() int {
+	id := len(uf.parent)
+	uf.parent = append(uf.parent, id)
+	uf.rank = append(uf.rank, 0)
+	uf.sets++
+	return id
+}
+
+// Merge unions the sets of x and y like Union, but additionally reports
+// which representative survived and which was absorbed — what incremental
+// callers that maintain per-set state (member lists, cached fingerprints)
+// need to move that state to the surviving root. When x and y are already
+// in one set, merged is false and root is that set's representative.
+func (uf *UnionFind) Merge(x, y int) (root, absorbed int, merged bool) {
 	rx, ry := uf.Find(x), uf.Find(y)
 	if rx == ry {
-		return false
+		return rx, rx, false
 	}
 	if uf.rank[rx] < uf.rank[ry] {
 		rx, ry = ry, rx
@@ -44,8 +66,11 @@ func (uf *UnionFind) Union(x, y int) bool {
 		uf.rank[rx]++
 	}
 	uf.sets--
-	return true
+	return rx, ry, true
 }
+
+// Len returns the number of elements.
+func (uf *UnionFind) Len() int { return len(uf.parent) }
 
 // Connected reports whether x and y are in the same set.
 func (uf *UnionFind) Connected(x, y int) bool { return uf.Find(x) == uf.Find(y) }

@@ -1,0 +1,172 @@
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/blockindex"
+)
+
+// idxFileMagic heads every persisted index file; the digit is the envelope
+// format version. The envelope records which blocking configuration the
+// index belongs to; the blockindex codec inside carries its own format
+// version and checksum.
+const idxFileMagic = "ERIXF001"
+
+// defaultMaxIndexFiles caps how many blocking configurations keep a
+// persisted index. Indexes are keyed by (scheme, key function, shard
+// count) only — far fewer knobs than snapshots — so a small cap suffices.
+const defaultMaxIndexFiles = 16
+
+// IndexDir stores one encoded blockindex.Index per blocking configuration,
+// each in its own file named by a hash of the configuration key. Saves are
+// atomic (temp file + rename), the key is verified on load, and damage
+// surfaces as the codec's typed errors — the caller rebuilds from the
+// corpus, losing only the restart head-start, never correctness.
+type IndexDir struct {
+	dir string
+	// MaxFiles bounds the number of .idx files kept; values < 1 select
+	// defaultMaxIndexFiles.
+	MaxFiles int
+}
+
+// NewIndexDir returns an index directory rooted at dir, creating it if
+// needed and sweeping temp files orphaned by a crash mid-save.
+func NewIndexDir(dir string) (*IndexDir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating %s: %w", dir, err)
+	}
+	if orphans, err := filepath.Glob(filepath.Join(dir, ".idx-*")); err == nil {
+		for _, name := range orphans {
+			_ = os.Remove(name)
+		}
+	}
+	return &IndexDir{dir: dir}, nil
+}
+
+// path names the index file of one configuration key.
+func (d *IndexDir) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:12])+".idx")
+}
+
+// SaveIndex atomically writes the index for one blocking-configuration key
+// and returns the index version the file reflects, so the caller can skip
+// future saves while the index is unchanged.
+func (d *IndexDir) SaveIndex(key string, idx *blockindex.Index) (uint64, error) {
+	if len(key) > maxSnapshotKeyBytes {
+		return 0, fmt.Errorf("persist: index key is %d bytes, cap is %d", len(key), maxSnapshotKeyBytes)
+	}
+	tmp, err := os.CreateTemp(d.dir, ".idx-*")
+	if err != nil {
+		return 0, fmt.Errorf("persist: creating index temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	var envelope bytes.Buffer
+	envelope.WriteString(idxFileMagic)
+	var klen [4]byte
+	binary.LittleEndian.PutUint32(klen[:], uint32(len(key)))
+	envelope.Write(klen[:])
+	envelope.WriteString(key)
+	if _, err := tmp.Write(envelope.Bytes()); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("persist: writing index envelope: %w", err)
+	}
+	version, err := idx.EncodeTo(tmp)
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("persist: syncing index: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("persist: closing index temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		return 0, fmt.Errorf("persist: publishing index: %w", err)
+	}
+	if err := syncDir(d.dir); err != nil {
+		return 0, err
+	}
+	d.prune()
+	return version, nil
+}
+
+// prune removes the oldest index files beyond the cap, best effort.
+func (d *IndexDir) prune() {
+	limit := d.MaxFiles
+	if limit < 1 {
+		limit = defaultMaxIndexFiles
+	}
+	names, err := filepath.Glob(filepath.Join(d.dir, "*.idx"))
+	if err != nil || len(names) <= limit {
+		return
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	files := make([]aged, 0, len(names))
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{name: name, mod: info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	for i := 0; i+limit < len(files); i++ {
+		_ = os.Remove(files[i].name)
+	}
+}
+
+// LoadIndex reads the index saved for key and rebuilds it under cfg, which
+// must describe the same blocking configuration (the key is the caller's
+// encoding of it). A missing file returns (nil, nil): no index is not an
+// error. A present-but-damaged file returns the codec's typed error.
+func (d *IndexDir) LoadIndex(key string, cfg blockindex.Config) (*blockindex.Index, error) {
+	f, err := os.Open(d.path(key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening index: %w", err)
+	}
+	defer f.Close()
+
+	header := make([]byte, len(idxFileMagic)+4)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, fmt.Errorf("persist: index %s: truncated envelope: %w", d.path(key), err)
+	}
+	if string(header[:len(idxFileMagic)]) != idxFileMagic {
+		return nil, fmt.Errorf("persist: index %s: bad magic %q (foreign file or unsupported envelope version)",
+			d.path(key), header[:len(idxFileMagic)])
+	}
+	klen := binary.LittleEndian.Uint32(header[len(idxFileMagic):])
+	if klen > maxSnapshotKeyBytes {
+		return nil, fmt.Errorf("persist: index %s: key length %d is corrupt", d.path(key), klen)
+	}
+	gotKey := make([]byte, klen)
+	if _, err := io.ReadFull(f, gotKey); err != nil {
+		return nil, fmt.Errorf("persist: index %s: truncated key: %w", d.path(key), err)
+	}
+	if string(gotKey) != key {
+		return nil, fmt.Errorf("persist: index %s was saved for configuration %q, not %q",
+			d.path(key), gotKey, key)
+	}
+	idx, err := blockindex.Decode(f, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("persist: index %s: %w", d.path(key), err)
+	}
+	return idx, nil
+}

@@ -51,12 +51,16 @@ const maxRecordBytes = 1 << 30
 // segmentCRC is the Castagnoli table used for record checksums.
 var segmentCRC = crc32.MakeTable(crc32.Castagnoli)
 
-// Data bundles the two disk backends rooted in one -data directory.
+// Data bundles the disk backends rooted in one -data directory.
 type Data struct {
 	// Store is the durable document store.
 	Store *Store
 	// Snapshots is the per-configuration snapshot directory.
 	Snapshots *SnapshotDir
+	// Indexes is the per-blocking-configuration sharded index directory: a
+	// restarted server reloads its blocking indexes instead of re-keying
+	// and re-blocking the corpus.
+	Indexes *IndexDir
 
 	lock *os.File
 }
@@ -72,7 +76,8 @@ type Data struct {
 func Open(dir string) (*Data, error) {
 	segDir := filepath.Join(dir, "segments")
 	snapDir := filepath.Join(dir, "snapshots")
-	for _, d := range []string{segDir, snapDir} {
+	idxDir := filepath.Join(dir, "indexes")
+	for _, d := range []string{segDir, snapDir, idxDir} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("persist: creating %s: %w", d, err)
 		}
@@ -92,7 +97,13 @@ func Open(dir string) (*Data, error) {
 		lock.Close()
 		return nil, err
 	}
-	return &Data{Store: st, Snapshots: snaps, lock: lock}, nil
+	indexes, err := NewIndexDir(idxDir)
+	if err != nil {
+		st.Close()
+		lock.Close()
+		return nil, err
+	}
+	return &Data{Store: st, Snapshots: snaps, Indexes: indexes, lock: lock}, nil
 }
 
 // lockDir takes a non-blocking exclusive flock on DIR/lock.
@@ -145,6 +156,15 @@ type Store struct {
 }
 
 var _ store.DocumentStore = (*Store)(nil)
+var _ store.AppendObserver = (*Store)(nil)
+
+// SubscribeAppend implements store.AppendObserver by forwarding to the
+// in-memory merge target: subscribers see every batch the journal
+// committed. Replay happens before any subscriber can register (open
+// finishes first), so a restart does not replay notifications.
+func (s *Store) SubscribeAppend(fn func(store.Stats)) {
+	s.mem.SubscribeAppend(fn)
+}
 
 // segmentPath names segment seq inside dir.
 func segmentPath(dir string, seq int) string {

@@ -1,10 +1,13 @@
 package pipeline
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"testing"
 
+	"repro/internal/blockindex"
+	"repro/internal/blocking"
 	"repro/internal/corpus"
 )
 
@@ -37,4 +40,80 @@ func BenchmarkPipelineResolve(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(totalDocs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// benchBlockCorpus builds the delta-ingest scenario the Block-stage
+// benchmarks share: a corpus of 8 collections, a "base" prefix holding all
+// but the last 5 documents of each, and the full union one small ingest
+// batch later.
+func benchBlockCorpus(b *testing.B) (base, full []*corpus.Collection, docs int) {
+	b.Helper()
+	for i := 0; i < 8; i++ {
+		col, err := corpus.GenerateCollection(corpus.CollectionConfig{
+			Name: fmt.Sprintf("name%d", i), NumDocs: 60, NumPersonas: 5,
+			Noise: 0.5, MissingInfo: 0.25, Spurious: 0.3, Seed: int64(300 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full = append(full, col)
+		base = append(base, &corpus.Collection{
+			Name: col.Name, Docs: col.Docs[:len(col.Docs)-5], NumPersonas: col.NumPersonas,
+		})
+		docs += len(col.Docs)
+	}
+	return base, full, docs
+}
+
+// BenchmarkSchemeBlock is the full-rebuild baseline: every iteration pays
+// a complete candidate-generation and union-find pass over the corpus,
+// which is what the Block stage cost per run before the sharded index.
+func BenchmarkSchemeBlock(b *testing.B) {
+	_, full, docs := benchBlockCorpus(b)
+	sb := NewSchemeBlocker(blocking.TokenBlocking{})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sb.BlockMembership(ctx, full); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(docs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkIndexBlock measures the same Block stage served by the sharded
+// index in the delta-ingest case: the base corpus is already indexed (the
+// untimed decode restores that state each iteration), so the timed work is
+// keying the 40-document delta, merging it into the components, and
+// assembling the blocks.
+func BenchmarkIndexBlock(b *testing.B) {
+	base, full, docs := benchBlockCorpus(b)
+	cfg := blockindex.Config{Scheme: blocking.TokenBlocking{}}
+	seed, err := blockindex.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seed.Update(base); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := seed.EncodeTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		idx, err := blockindex.Decode(bytes.NewReader(encoded), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ib := NewIndexBlockerWith(idx)
+		b.StartTimer()
+		if _, err := ib.BlockFingerprints(ctx, full); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(docs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
 }

@@ -2,11 +2,15 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"strings"
+	"sync"
 
+	"repro/internal/blockindex"
 	"repro/internal/blocking"
 	"repro/internal/corpus"
 	"repro/internal/ergraph"
+	"repro/internal/extract"
 )
 
 // Blocker is the pipeline's block stage: it re-partitions ingested
@@ -23,12 +27,64 @@ type Blocker interface {
 // KeyFunc derives the blocking keys of one document. The default keys a
 // document by the name its collection was retrieved for — the paper's "all
 // pages retrieved for one name" scheme. Richer key functions (extracted
-// person names, URL hosts, …) trade reduction for recall.
+// person names, URL hosts, …) trade reduction for recall. A KeyFunc must
+// be pure: the sharded index calls it once per document at indexing time
+// and caches the derived keys forever.
 type KeyFunc func(col *corpus.Collection, doc corpus.Document) []string
 
-// collectionNameKey is the default KeyFunc.
-func collectionNameKey(col *corpus.Collection, _ corpus.Document) []string {
-	return []string{col.Name}
+// collectionNameKey is the default KeyFunc — one definition, shared with
+// the index layer, so the two defaults can never drift and silently break
+// the index-equals-scheme block equivalence.
+func collectionNameKey(col *corpus.Collection, doc corpus.Document) []string {
+	return blockindex.CollectionNameKey(col, doc)
+}
+
+// namesExtractor is the shared feature extractor behind NamesKey, built
+// once: the extractor is stateless after construction and safe for
+// concurrent use.
+var namesExtractor = sync.OnceValue(func() *extract.FeatureExtractor {
+	return extract.NewFeatureExtractor(nil, nil)
+})
+
+// NamesKey keys a document by its extracted person-name mentions: the most
+// frequent person name on the page (feature F3) and the mention closest to
+// the query name (F7). Unlike the collection-name default, it lets pages
+// about one person retrieved under different query spellings ("j smith",
+// "john smith") land in one block — the cross-collection variant merging
+// raw crawls need. A page mentioning no person keeps its collection name
+// as a fallback key so it still blocks with its siblings.
+func NamesKey(col *corpus.Collection, doc corpus.Document) []string {
+	f := namesExtractor().Extract(doc.Text, doc.URL, col.Name)
+	var keys []string
+	if f.MostFrequentName != "" {
+		keys = append(keys, f.MostFrequentName)
+	}
+	if f.ClosestName != "" && f.ClosestName != f.MostFrequentName {
+		keys = append(keys, f.ClosestName)
+	}
+	if len(keys) == 0 {
+		keys = append(keys, col.Name)
+	}
+	return keys
+}
+
+// KeyNames are the accepted ParseKeys spellings, in display order for
+// CLI/API usage messages.
+var KeyNames = []string{"collection", "names"}
+
+// ParseKeys maps a CLI/API key-function name to its KeyFunc: "collection"
+// is the paper's retrieved-for-one-name scheme, "names" keys documents by
+// their extracted person-name mentions (F3/F7).
+func ParseKeys(name string) (KeyFunc, error) {
+	switch name {
+	case "", "collection":
+		return collectionNameKey, nil
+	case "names":
+		return NamesKey, nil
+	default:
+		return nil, fmt.Errorf("pipeline: unknown key function %q (valid: %s)",
+			name, strings.Join(KeyNames, ", "))
+	}
 }
 
 // SchemeBlocker adapts any blocking.Scheme into the pipeline's block
@@ -52,25 +108,57 @@ func NewSchemeBlocker(s blocking.Scheme) SchemeBlocker {
 	return SchemeBlocker{Scheme: s}
 }
 
+// Validate surfaces degenerate scheme parameters (a sorted-neighborhood
+// window that can pair nothing, inverted canopy thresholds) when the
+// pipeline is assembled instead of silently producing a useless candidate
+// set at run time.
+func (sb SchemeBlocker) Validate() error {
+	if v, ok := sb.Scheme.(blocking.Validator); ok {
+		return v.Validate()
+	}
+	return nil
+}
+
 // DefaultBlocker is the paper's scheme: exact-key blocking over collection
 // names.
 func DefaultBlocker() Blocker { return NewSchemeBlocker(blocking.ExactKey{}) }
 
 // ParseBlocker maps a CLI/API scheme name ("exact", "token", …) to a
-// blocker over the default document keys.
+// blocker over the default document keys. Key-based schemes get the
+// sharded incremental index; global schemes fall back to the per-run
+// SchemeBlocker.
 func ParseBlocker(name string) (Blocker, error) {
 	scheme, err := blocking.ParseScheme(name)
 	if err != nil {
 		return nil, err
 	}
-	return NewSchemeBlocker(scheme), nil
+	return NewBlocker(scheme, nil, 0)
+}
+
+// NewBlocker picks the right Blocker for a scheme: schemes whose candidate
+// pairs come purely from shared keys (blocking.KeyedScheme — exact, token)
+// get an IndexBlocker over the sharded incremental index, so repeated
+// blocking of a growing corpus costs O(delta); global schemes
+// (sortedneighborhood, canopy) keep the full per-run SchemeBlocker. A nil
+// keys selects the collection-name KeyFunc, and shards < 1 the index
+// default.
+func NewBlocker(scheme blocking.Scheme, keys KeyFunc, shards int) (Blocker, error) {
+	if keyed, ok := scheme.(blocking.KeyedScheme); ok {
+		return NewIndexBlocker(keyed, keys, shards)
+	}
+	if v, ok := scheme.(blocking.Validator); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return SchemeBlocker{Scheme: scheme, Keys: keys}, nil
 }
 
 // DocRef locates one ingested document by its position in the ingest: the
-// collection's index and the document's index within it.
-type DocRef struct {
-	Col, Doc int
-}
+// collection's index and the document's index within it. It is an alias of
+// the block index's ref type so membership flows between the layers
+// without conversion.
+type DocRef = blockindex.DocRef
 
 // MembershipBlocker is an optional Blocker extension that additionally
 // reports which ingested documents each block contains. Incremental
@@ -140,27 +228,28 @@ func (sb SchemeBlocker) BlockMembership(ctx context.Context, cols []*corpus.Coll
 	blocks := make([]*corpus.Collection, 0, len(members))
 	memberRefs := make([][]DocRef, 0, len(members))
 	for _, m := range members {
-		blocks = append(blocks, sb.assemble(cols, refs, m))
 		mr := make([]DocRef, len(m))
 		for j, idx := range m {
 			mr[j] = refs[idx]
 		}
+		blocks = append(blocks, assembleRefs(cols, mr))
 		memberRefs = append(memberRefs, mr)
 	}
 	return blocks, memberRefs, nil
 }
 
-// assemble builds one block collection from flattened member indices. A
-// component that covers exactly one whole ingested collection reuses it
-// verbatim; anything else (a split, or a cross-collection merge) gets
-// re-indexed documents and densely remapped persona labels.
-func (sb SchemeBlocker) assemble(cols []*corpus.Collection, refs []DocRef, members []int) *corpus.Collection {
-	first := refs[members[0]]
+// assembleRefs builds one block collection from its member refs, the
+// shared assembly step of SchemeBlocker and IndexBlocker. A component that
+// covers exactly one whole ingested collection reuses it verbatim;
+// anything else (a split, or a cross-collection merge) gets re-indexed
+// documents and densely remapped persona labels.
+func assembleRefs(cols []*corpus.Collection, refs []DocRef) *corpus.Collection {
+	first := refs[0]
 	src := cols[first.Col]
-	if len(members) == len(src.Docs) {
+	if len(refs) == len(src.Docs) {
 		whole := true
-		for off, m := range members {
-			if refs[m].Col != first.Col || refs[m].Doc != off {
+		for off, ref := range refs {
+			if ref.Col != first.Col || ref.Doc != off {
 				whole = false
 				break
 			}
@@ -179,8 +268,7 @@ func (sb SchemeBlocker) assemble(cols []*corpus.Collection, refs []DocRef, membe
 	var names []string
 	seenName := make(map[string]bool)
 	out := &corpus.Collection{}
-	for i, m := range members {
-		ref := refs[m]
+	for i, ref := range refs {
 		col := cols[ref.Col]
 		if !seenName[col.Name] {
 			seenName[col.Name] = true

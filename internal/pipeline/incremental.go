@@ -58,6 +58,10 @@ type IncrementalStats struct {
 	// Trivial is the number of dirty blocks below the training size,
 	// resolved trivially without preparation.
 	Trivial int
+	// Blocking reports the block stage's own reuse when the blocker
+	// maintains an incremental index (FingerprintBlocker); nil when the
+	// blocks were computed by a full per-run pass.
+	Blocking *BlockingStats
 }
 
 // IncrementalResult is RunIncremental's output: the per-block results in
@@ -88,30 +92,46 @@ type IncrementalResult struct {
 // The pipeline's Blocker must implement MembershipBlocker (every
 // SchemeBlocker does).
 func (p *Pipeline) RunIncremental(ctx context.Context, cols []*corpus.Collection, prev *Snapshot) (*IncrementalResult, error) {
-	mb, ok := p.blocker.(MembershipBlocker)
-	if !ok {
-		return nil, fmt.Errorf("pipeline: incremental resolution requires a membership-reporting blocker, %T does not report membership", p.blocker)
-	}
-	blocks, members, err := mb.BlockMembership(ctx, cols)
-	if err != nil {
-		return nil, err
-	}
-
-	keys := docKeys(cols)
-	fps := make([]uint64, len(blocks))
-	hashes := make([]uint64, 0, 64)
-	for i, mem := range members {
-		hashes = hashes[:0]
-		for _, ref := range mem {
-			hashes = append(hashes, keys[ref.Col][ref.Doc])
+	var blocks []*corpus.Collection
+	var fps []uint64
+	var blockingStats *BlockingStats
+	switch b := p.blocker.(type) {
+	case FingerprintBlocker:
+		// The block stage maintains membership fingerprints itself (the
+		// sharded index): only the ingest delta was hashed, the rest comes
+		// from the index's per-component cache.
+		indexed, err := b.BlockFingerprints(ctx, cols)
+		if err != nil {
+			return nil, err
 		}
-		fps[i] = blocking.CombineIDs(hashes)
+		blocks, fps = indexed.Blocks, indexed.Fingerprints
+		stats := indexed.Stats
+		blockingStats = &stats
+	case MembershipBlocker:
+		var members [][]DocRef
+		var err error
+		blocks, members, err = b.BlockMembership(ctx, cols)
+		if err != nil {
+			return nil, err
+		}
+		keys := docKeys(cols)
+		fps = make([]uint64, len(blocks))
+		hashes := make([]uint64, 0, 64)
+		for i, mem := range members {
+			hashes = hashes[:0]
+			for _, ref := range mem {
+				hashes = append(hashes, keys[ref.Col][ref.Doc])
+			}
+			fps[i] = blocking.CombineIDs(hashes)
+		}
+	default:
+		return nil, fmt.Errorf("pipeline: incremental resolution requires a membership-reporting blocker, %T does not report membership", p.blocker)
 	}
 
 	results := make([]Result, len(blocks))
 	preps := make([]*core.Prepared, len(blocks))
 	next := &Snapshot{entries: make(map[uint64]*cachedBlock, len(blocks))}
-	st := IncrementalStats{Blocks: len(blocks)}
+	st := IncrementalStats{Blocks: len(blocks), Blocking: blockingStats}
 
 	// Diff: a block whose fingerprint is in the previous snapshot is
 	// clean — reuse its cached output; everything else is dirty.
@@ -168,20 +188,20 @@ func (p *Pipeline) rescored(cb *cachedBlock, block *corpus.Collection) *cachedBl
 	return &out
 }
 
-// docKeys fingerprints every ingested document. A document's key covers
-// its collection name, position, URL, text and persona label, so a block's
-// membership fingerprint changes exactly when any member document's
-// content or position changes — the dirty condition of the incremental
-// diff. Positions are stable under append-only ingestion, which is what
-// the store guarantees.
+// docKeys fingerprints every ingested document with blocking.DocHash — the
+// shared identity formula of the incremental diff and the sharded index. A
+// document's key covers its collection name, position, URL, text and
+// persona label, so a block's membership fingerprint changes exactly when
+// any member document's content or position changes — the dirty condition
+// of the incremental diff. Positions are stable under append-only
+// ingestion, which is what the store guarantees.
 func docKeys(cols []*corpus.Collection) [][]uint64 {
 	keys := make([][]uint64, len(cols))
 	for ci, col := range cols {
 		keys[ci] = make([]uint64, len(col.Docs))
 		for di := range col.Docs {
 			doc := &col.Docs[di]
-			keys[ci][di] = blocking.HashKey(
-				col.Name, strconv.Itoa(di), doc.URL, doc.Text, strconv.Itoa(doc.PersonaID))
+			keys[ci][di] = blocking.DocHash(col.Name, di, doc.URL, doc.Text, doc.PersonaID)
 		}
 	}
 	return keys

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
@@ -105,6 +106,15 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if p.blocker == nil {
 		p.blocker = DefaultBlocker()
+	}
+	// Blockers with tunable parameters validate at assembly, so a
+	// degenerate configuration (a window that can pair nothing, inverted
+	// canopy thresholds) fails here instead of silently producing a
+	// useless candidate set mid-run.
+	if v, ok := p.blocker.(blocking.Validator); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if p.strategy == nil {
 		p.strategy = BestAnyCriterion()

@@ -19,10 +19,14 @@ import (
 	"log"
 	"mime"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/blockindex"
+	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
@@ -54,6 +58,18 @@ type Config struct {
 	// Store is the document store behind the ingest endpoints; nil
 	// selects a fresh in-memory store.
 	Store store.DocumentStore
+	// BlockShards is the hash-partition count of the sharded blocking
+	// indexes the incremental endpoint maintains for key-based schemes;
+	// zero selects the index default.
+	BlockShards int
+	// Indexes optionally persists each blocking configuration's sharded
+	// index (internal/persist.IndexDir is the disk implementation). When
+	// set, the index is saved after incremental runs that advanced it and
+	// reloaded on the configuration's first use after a restart, so a
+	// restarted server does not re-key and re-block the corpus. A damaged
+	// or mismatched saved index degrades to a rebuild from the store
+	// (results stay correct) and is reported through ErrorLog.
+	Indexes IndexStore
 	// Snapshots optionally persists each configuration's incremental
 	// snapshot (internal/persist.SnapshotDir is the disk implementation).
 	// When set, every successful incremental run saves its snapshot
@@ -82,6 +98,15 @@ type SnapshotStore interface {
 	Touch(key string) error
 }
 
+// IndexStore persists per-blocking-configuration sharded indexes.
+// LoadIndex returns (nil, nil) when nothing is saved under the key;
+// SaveIndex returns the index version the stored form reflects, so the
+// service can skip saves while the index is unchanged.
+type IndexStore interface {
+	LoadIndex(key string, cfg blockindex.Config) (*blockindex.Index, error)
+	SaveIndex(key string, idx *blockindex.Index) (uint64, error)
+}
+
 // Server resolves posted collections through the streaming pipeline.
 type Server struct {
 	cfg   Config
@@ -93,6 +118,48 @@ type Server struct {
 	// sees the previous run's snapshot.
 	statesMu sync.Mutex
 	states   map[string]*incrementalState
+
+	// indexes holds one sharded blocking index per blocking configuration
+	// (scheme, key function, shard count) — shared by every resolution
+	// configuration that blocks the same way, so ten seeds over one scheme
+	// maintain one index. The index itself serializes access.
+	indexesMu sync.Mutex
+	indexes   map[string]*indexEntry
+
+	// counters are the /v1/stats per-stage counters.
+	counters counters
+
+	// warmCh coalesces ingest notifications for the background index
+	// warmer; closeCh stops it, warmDone (nil when no warmer runs) is
+	// closed when it has fully exited — Close joins on it so no index
+	// write can race the data directory's close.
+	warmCh    chan struct{}
+	closeCh   chan struct{}
+	warmDone  chan struct{}
+	closeOnce sync.Once
+}
+
+// counters aggregates per-stage activity across the server's lifetime.
+type counters struct {
+	runs, blocks, reused, prepared, trivial atomic.Int64
+	deltaDocs, dirtyBlocks                  atomic.Int64
+	ingestBatches                           atomic.Int64
+}
+
+// indexEntry is one shared blocking index plus its persistence
+// bookkeeping. The blocker initializes lazily outside the registry lock
+// (loading a persisted index reads and re-links the whole posting set, and
+// stalling every other configuration's resolve on that would defeat the
+// shared registry); readers that race initialization simply see nil and
+// skip the entry.
+type indexEntry struct {
+	key     string
+	init    sync.Once
+	blocker atomic.Pointer[pipeline.IndexBlocker]
+	// mu serializes saves; savedVersion is the index version the persisted
+	// form reflects (0 when never saved). Guarded by mu.
+	mu           sync.Mutex
+	savedVersion uint64
 }
 
 type incrementalState struct {
@@ -139,22 +206,120 @@ func New(cfg Config) *Server {
 		cfg.ErrorLog = log.Printf
 	}
 	s := &Server{
-		cfg:    cfg,
-		store:  cfg.Store,
-		jobs:   store.NewQueue(cfg.QueueBuffer, cfg.JobHistory),
-		states: make(map[string]*incrementalState),
+		cfg:     cfg,
+		store:   cfg.Store,
+		jobs:    store.NewQueue(cfg.QueueBuffer, cfg.JobHistory),
+		states:  make(map[string]*incrementalState),
+		indexes: make(map[string]*indexEntry),
+		warmCh:  make(chan struct{}, 1),
+		closeCh: make(chan struct{}),
 	}
 	if s.store == nil {
 		s.store = store.NewMemStore()
 	}
+	// Ingest notifies the index maintainers: each committed batch kicks
+	// the background warmer, which feeds the delta to every live blocking
+	// index off the resolve path — so the next incremental resolve finds
+	// the corpus already keyed and blocked.
+	if obs, ok := s.store.(store.AppendObserver); ok {
+		obs.SubscribeAppend(func(store.Stats) {
+			s.counters.ingestBatches.Add(1)
+			select {
+			case s.warmCh <- struct{}{}:
+			default: // a warm round is already pending; it will see this batch too
+			}
+		})
+		s.warmDone = make(chan struct{})
+		go s.warmLoop()
+	}
 	return s
 }
 
-// Close shuts the ingest worker down, draining queued jobs until ctx
+// warmSaveDeltaDocs is how far an index may advance past its persisted
+// version before the warmer saves it. Saving encodes the whole posting
+// set, so persisting after every small batch would spend O(corpus) disk
+// I/O per ingest — the very cost this index removes from the resolve
+// path. The remainder is flushed unconditionally on Close (and by the
+// resolve path, which saves on any advance).
+const warmSaveDeltaDocs = 4096
+
+// warmLoop drains coalesced ingest notifications and pre-indexes the new
+// documents into every live blocking index. Warming is best effort: a
+// failure (or a race with a concurrent resolve) costs nothing but the
+// head-start, since BlockFingerprints re-runs the same delta update.
+func (s *Server) warmLoop() {
+	defer close(s.warmDone)
+	for {
+		select {
+		case <-s.closeCh:
+			return
+		case <-s.warmCh:
+			cols, _ := s.store.Snapshot()
+			for _, e := range s.indexEntries() {
+				ib := e.blocker.Load()
+				if ib == nil {
+					continue // still initializing; its first resolve will index
+				}
+				if _, err := ib.Warm(cols); err != nil {
+					s.cfg.ErrorLog("service: warming blocking index %q: %v", e.key, err)
+					continue
+				}
+				// Persist what the warmer built — batched: an ingest-heavy,
+				// resolve-light server must not lose its keying work on
+				// shutdown, but saving the whole index per small batch
+				// would cost O(corpus) I/O per ingest. Close flushes the
+				// tail.
+				s.persistIndexIfGrown(e)
+			}
+		}
+	}
+}
+
+// persistIndexIfGrown saves the entry's index only once the unsaved delta
+// is large enough to amortize the whole-index encode.
+func (s *Server) persistIndexIfGrown(e *indexEntry) {
+	if s.cfg.Indexes == nil {
+		return
+	}
+	ib := e.blocker.Load()
+	if ib == nil {
+		return
+	}
+	e.mu.Lock()
+	grown := ib.Index().Version() >= e.savedVersion+warmSaveDeltaDocs
+	e.mu.Unlock()
+	if grown {
+		s.persistIndex(e)
+	}
+}
+
+// indexEntries snapshots the index registry under its lock.
+func (s *Server) indexEntries() []*indexEntry {
+	s.indexesMu.Lock()
+	defer s.indexesMu.Unlock()
+	entries := make([]*indexEntry, 0, len(s.indexes))
+	for _, e := range s.indexes {
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// Close shuts the ingest worker down (draining queued jobs until ctx
 // expires; after that the remaining jobs are canceled and ctx's error is
-// returned.
+// returned), then stops AND JOINS the index warmer before flushing every
+// advanced index to the IndexStore. After Close returns, no goroutine of
+// this server writes the data directory — which is what lets the caller
+// close it and release its single-writer lock.
 func (s *Server) Close(ctx context.Context) error {
-	return s.jobs.Shutdown(ctx)
+	err := s.jobs.Shutdown(ctx)
+	s.closeOnce.Do(func() { close(s.closeCh) })
+	if s.warmDone != nil {
+		<-s.warmDone
+	}
+	for _, e := range s.indexEntries() {
+		s.persistIndex(e)
+	}
+	return err
 }
 
 // Handler returns the service mux:
@@ -163,6 +328,7 @@ func (s *Server) Close(ctx context.Context) error {
 //	POST /v1/collections          enqueue documents into the store
 //	GET  /v1/jobs/{id}            ingest job status and result
 //	POST /v1/resolve/incremental  resolve the store, reusing clean blocks
+//	GET  /v1/stats                per-stage counters and index shapes
 //	GET  /healthz                 liveness plus store stats
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -170,6 +336,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/resolve/incremental", s.handleResolveIncremental)
 	mux.HandleFunc("/v1/collections", s.handleCollections)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "store": s.store.Stats()})
 	})
@@ -188,6 +355,10 @@ type resolveKnobs struct {
 	// Blocking re-partitions the documents: exact | token |
 	// sortedneighborhood | canopy (default exact, the paper's scheme).
 	Blocking string `json:"blocking,omitempty"`
+	// Keys derives each document's blocking keys: collection | names
+	// (default collection; names keys documents by their extracted
+	// person-name mentions, merging cross-collection spelling variants).
+	Keys string `json:"keys,omitempty"`
 	// TrainFraction is the labeled fraction (default 0.10).
 	TrainFraction float64 `json:"train_fraction,omitempty"`
 	// Regions is the accuracy-estimation region count (default 10).
@@ -310,6 +481,11 @@ type IncrementalResolveResponse struct {
 	Average *BlockScore `json:"average,omitempty"`
 	// Incremental reports what the dirty-block diff skipped.
 	Incremental IncrementalStats `json:"incremental"`
+	// Blocking reports the block stage's own reuse: how many documents the
+	// sharded index newly keyed for this run ("delta_docs": 0 means the
+	// whole blocking pass was served from the index) and which
+	// implementation ran ("index" or "scheme").
+	Blocking pipeline.BlockingStats `json:"blocking"`
 	// ElapsedMillis is the server-side resolution time.
 	ElapsedMillis int64 `json:"elapsed_ms"`
 }
@@ -414,7 +590,7 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	pl, score, err := buildPipeline(req.resolveKnobs)
+	pl, score, err := buildPipeline(req.resolveKnobs, nil)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -501,7 +677,15 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	pl, score, err := buildPipeline(req.resolveKnobs)
+	// The block stage is shared per blocking configuration: key-based
+	// schemes resolve through the sharded incremental index bound to the
+	// server's store, so repeated resolves pay only for the ingest delta.
+	blocker, indexEntry, err := s.blockerFor(req.resolveKnobs)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	pl, score, err := buildPipeline(req.resolveKnobs, blocker)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -566,6 +750,16 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 		return
 	}
 	state.snap = inc.Snapshot
+	s.persistIndex(indexEntry)
+	s.counters.runs.Add(1)
+	s.counters.blocks.Add(int64(inc.Stats.Blocks))
+	s.counters.reused.Add(int64(inc.Stats.Reused))
+	s.counters.prepared.Add(int64(inc.Stats.Prepared))
+	s.counters.trivial.Add(int64(inc.Stats.Trivial))
+	if inc.Stats.Blocking != nil {
+		s.counters.deltaDocs.Add(int64(inc.Stats.Blocking.DeltaDocs))
+		s.counters.dirtyBlocks.Add(int64(inc.Stats.Blocking.DirtyBlocks))
+	}
 	if s.cfg.Snapshots != nil {
 		// Persist before answering, so an acknowledged run's snapshot
 		// survives a crash. A save failure loses only the restart
@@ -592,6 +786,10 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 		}
 	}
 
+	blockingStats := pipeline.BlockingStats{Indexer: "scheme"}
+	if inc.Stats.Blocking != nil {
+		blockingStats = *inc.Stats.Blocking
+	}
 	resp := IncrementalResolveResponse{
 		Label:         req.Label,
 		StoreVersion:  version,
@@ -603,6 +801,7 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 			PreparedBlocks: inc.Stats.Prepared,
 			TrivialBlocks:  inc.Stats.Trivial,
 		},
+		Blocking: blockingStats,
 	}
 	resp.Blocks, resp.Average = blockResults(inc.Results, score)
 	writeJSON(w, http.StatusOK, resp)
@@ -615,15 +814,18 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 // never alias the defaults.
 func knobsKey(k resolveKnobs) string {
 	def := core.DefaultOptions()
-	strategy, clustering, blocking := k.Strategy, k.Clustering, k.Blocking
+	strategy, clustering, scheme, keys := k.Strategy, k.Clustering, k.Blocking, k.Keys
 	if strategy == "" {
 		strategy = "best"
 	}
 	if clustering == "" {
 		clustering = "closure"
 	}
-	if blocking == "" {
-		blocking = "exact"
+	if scheme == "" {
+		scheme = "exact"
+	}
+	if keys == "" {
+		keys = "collection"
 	}
 	train, regions, seed := k.TrainFraction, k.Regions, def.Seed
 	if train == 0 {
@@ -635,7 +837,118 @@ func knobsKey(k resolveKnobs) string {
 	if k.Seed != nil {
 		seed = *k.Seed
 	}
-	return fmt.Sprintf("%s|%s|%s|%g|%d|%d", strategy, clustering, blocking, train, regions, seed)
+	return fmt.Sprintf("%s|%s|%s|%s|%g|%d|%d", strategy, clustering, scheme, keys, train, regions, seed)
+}
+
+// indexKey builds the blocking-configuration key one sharded index (and
+// its persisted form) is filed under: only the knobs that shape the index
+// — scheme, key function, shard count — so every resolution configuration
+// blocking the same way shares one index.
+func (s *Server) indexKey(schemeName, keysName string) string {
+	shards := s.cfg.BlockShards
+	if shards < 1 {
+		shards = blockindex.DefaultShards
+	}
+	if schemeName == "" {
+		schemeName = "exact"
+	}
+	if keysName == "" {
+		keysName = "collection"
+	}
+	return fmt.Sprintf("%s|%s|%d", schemeName, keysName, shards)
+}
+
+// blockerFor resolves the knobs' block stage. Key-based schemes get the
+// per-blocking-configuration shared index (created on first use, loaded
+// from the IndexStore if a restart left one behind); global schemes get a
+// stateless SchemeBlocker. The returned entry is nil for stateless
+// blockers.
+func (s *Server) blockerFor(k resolveKnobs) (pipeline.Blocker, *indexEntry, error) {
+	schemeName := k.Blocking
+	if schemeName == "" {
+		schemeName = "exact"
+	}
+	scheme, err := blocking.ParseScheme(schemeName)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyFn, err := pipeline.ParseKeys(k.Keys)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyed, ok := scheme.(blocking.KeyedScheme)
+	if !ok {
+		return pipeline.SchemeBlocker{Scheme: scheme, Keys: keyFn}, nil, nil
+	}
+
+	key := s.indexKey(schemeName, k.Keys)
+	s.indexesMu.Lock()
+	e, ok := s.indexes[key]
+	if !ok {
+		e = &indexEntry{key: key}
+		s.indexes[key] = e
+	}
+	s.indexesMu.Unlock()
+
+	// Initialize outside the registry lock: loading a persisted index
+	// reads and re-links the whole posting set, and only this blocking
+	// configuration should wait for it. The Once publishes savedVersion
+	// before the atomic blocker store, so every later reader is synced.
+	e.init.Do(func() {
+		if s.cfg.Indexes != nil {
+			// First use of this blocking configuration since the server
+			// started: resume from the persisted index if one survives. A
+			// missing index is normal; a damaged or mismatched one
+			// degrades to a rebuild from the store and is logged, never
+			// trusted.
+			cfg := blockindex.Config{Scheme: keyed, Keys: blockindex.KeyFunc(keyFn), Shards: s.cfg.BlockShards}
+			idx, err := s.cfg.Indexes.LoadIndex(key, cfg)
+			if err != nil {
+				s.cfg.ErrorLog("service: loading blocking index for %q: %v", key, err)
+			} else if idx != nil {
+				e.savedVersion = idx.Version()
+				e.blocker.Store(pipeline.NewIndexBlockerWith(idx))
+				return
+			}
+		}
+		ib, err := pipeline.NewIndexBlocker(keyed, keyFn, s.cfg.BlockShards)
+		if err != nil {
+			// Unreachable with a parsed scheme; surface it to the caller
+			// below rather than caching a half-made entry.
+			s.cfg.ErrorLog("service: building blocking index for %q: %v", key, err)
+			return
+		}
+		e.blocker.Store(ib)
+	})
+	ib := e.blocker.Load()
+	if ib == nil {
+		return nil, nil, fmt.Errorf("service: blocking index %q failed to initialize", key)
+	}
+	return ib, e, nil
+}
+
+// persistIndex saves the entry's index if it advanced past the persisted
+// version. Serialized per entry; a failure costs only the restart
+// head-start and is logged.
+func (s *Server) persistIndex(e *indexEntry) {
+	if e == nil || s.cfg.Indexes == nil {
+		return
+	}
+	ib := e.blocker.Load()
+	if ib == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ib.Index().Version() == e.savedVersion {
+		return
+	}
+	version, err := s.cfg.Indexes.SaveIndex(e.key, ib.Index())
+	if err != nil {
+		s.cfg.ErrorLog("service: saving blocking index for %q: %v", e.key, err)
+		return
+	}
+	e.savedVersion = version
 }
 
 // acquireState returns the incremental state of one knob configuration,
@@ -685,6 +998,105 @@ func (s *Server) releaseState(state *incrementalState) {
 	state.lastUsed = time.Now()
 }
 
+// StatsResponse is the /v1/stats reply: expvar-style per-stage counters
+// plus the live shape of the store, queue and blocking indexes.
+type StatsResponse struct {
+	// Store is the document store's current size and version.
+	Store store.Stats `json:"store"`
+	// Queue reports the ingest backlog.
+	Queue QueueStats `json:"queue"`
+	// Ingest counts committed ingest batches observed by the server.
+	Ingest IngestStats `json:"ingest"`
+	// Resolve aggregates the incremental endpoint's per-stage counters
+	// across the server's lifetime.
+	Resolve ResolveStats `json:"resolve"`
+	// Blocking aggregates block-stage reuse and lists every live sharded
+	// index with its shard balance.
+	Blocking BlockingStatsReport `json:"blocking"`
+	// SnapshotStates is the number of resolution configurations holding an
+	// incremental snapshot.
+	SnapshotStates int `json:"snapshot_states"`
+}
+
+// QueueStats reports the ingest queue's backpressure signal.
+type QueueStats struct {
+	// Depth is the number of enqueued-but-unfinished jobs.
+	Depth int `json:"depth"`
+}
+
+// IngestStats counts observed ingest activity.
+type IngestStats struct {
+	// Batches is the number of committed ingest batches.
+	Batches int64 `json:"batches"`
+}
+
+// ResolveStats aggregates the incremental diff across all runs.
+type ResolveStats struct {
+	Runs           int64 `json:"runs"`
+	Blocks         int64 `json:"blocks"`
+	ReusedBlocks   int64 `json:"reused_blocks"`
+	PreparedBlocks int64 `json:"prepared_blocks"`
+	TrivialBlocks  int64 `json:"trivial_blocks"`
+}
+
+// BlockingStatsReport aggregates block-stage reuse across all runs and
+// describes each live index.
+type BlockingStatsReport struct {
+	// DeltaDocs is the total number of documents the indexes keyed
+	// incrementally; DirtyBlocks the total blocks those deltas touched.
+	DeltaDocs   int64 `json:"delta_docs"`
+	DirtyBlocks int64 `json:"dirty_blocks"`
+	// Indexes lists every live sharded index.
+	Indexes []IndexReport `json:"indexes"`
+}
+
+// IndexReport is one live sharded index: its blocking-configuration key
+// and the index's shape, including per-shard key counts.
+type IndexReport struct {
+	Key string `json:"key"`
+	blockindex.Stats
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	// Copy the entries under the registry lock, then query each index
+	// without it: Stats() waits on the index's own mutex, which an
+	// in-flight update can hold for a while, and stalling blockerFor (and
+	// with it every incremental resolve) on a stats scrape is not worth it.
+	entries := s.indexEntries()
+	reports := make([]IndexReport, 0, len(entries))
+	for _, e := range entries {
+		if ib := e.blocker.Load(); ib != nil {
+			reports = append(reports, IndexReport{Key: e.key, Stats: ib.Index().Stats()})
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Key < reports[j].Key })
+	s.statesMu.Lock()
+	states := len(s.states)
+	s.statesMu.Unlock()
+
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Store:  s.store.Stats(),
+		Queue:  QueueStats{Depth: s.jobs.Depth()},
+		Ingest: IngestStats{Batches: s.counters.ingestBatches.Load()},
+		Resolve: ResolveStats{
+			Runs:           s.counters.runs.Load(),
+			Blocks:         s.counters.blocks.Load(),
+			ReusedBlocks:   s.counters.reused.Load(),
+			PreparedBlocks: s.counters.prepared.Load(),
+			TrivialBlocks:  s.counters.trivial.Load(),
+		},
+		Blocking: BlockingStatsReport{
+			DeltaDocs:   s.counters.deltaDocs.Load(),
+			DirtyBlocks: s.counters.dirtyBlocks.Load(),
+			Indexes:     reports,
+		},
+		SnapshotStates: states,
+	})
+}
+
 // writeRunError maps a pipeline error to its HTTP reply; it answers true
 // when the run succeeded and the caller should write the response.
 func writeRunError(w http.ResponseWriter, err error, timeout time.Duration) bool {
@@ -702,8 +1114,12 @@ func writeRunError(w http.ResponseWriter, err error, timeout time.Duration) bool
 	return false
 }
 
-// buildPipeline validates the knobs and assembles their pipeline.
-func buildPipeline(req resolveKnobs) (*pipeline.Pipeline, bool, error) {
+// buildPipeline validates the knobs and assembles their pipeline. A
+// non-nil blocker overrides the knob-derived block stage — the incremental
+// endpoint passes its store-bound shared index; the one-shot endpoint
+// passes nil and gets a stateless per-request blocker, since arbitrary
+// posted corpora must never feed a store-bound index.
+func buildPipeline(req resolveKnobs, blocker pipeline.Blocker) (*pipeline.Pipeline, bool, error) {
 	opts := core.DefaultOptions()
 	if req.TrainFraction != 0 {
 		opts.TrainFraction = req.TrainFraction
@@ -730,12 +1146,21 @@ func buildPipeline(req resolveKnobs) (*pipeline.Pipeline, bool, error) {
 		}
 		cfg.Strategy = strat
 	}
-	if req.Blocking != "" {
-		blocker, err := pipeline.ParseBlocker(req.Blocking)
+	cfg.Blocker = blocker
+	if cfg.Blocker == nil && (req.Blocking != "" || req.Keys != "") {
+		var scheme blocking.Scheme = blocking.ExactKey{}
+		if req.Blocking != "" {
+			var err error
+			scheme, err = blocking.ParseScheme(req.Blocking)
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		keyFn, err := pipeline.ParseKeys(req.Keys)
 		if err != nil {
 			return nil, false, err
 		}
-		cfg.Blocker = blocker
+		cfg.Blocker = pipeline.SchemeBlocker{Scheme: scheme, Keys: keyFn}
 	}
 
 	score := req.Score == nil || *req.Score

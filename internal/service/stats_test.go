@@ -1,0 +1,273 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/persist"
+)
+
+func getStats(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats = %d", resp.StatusCode)
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStatsEndpoint pins the observability surface: per-stage counters,
+// queue depth, and the sharded index's shape all show up after ingest and
+// two incremental resolves.
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t, Config{BlockShards: 4})
+	col := testCollection(t, 24)
+
+	empty := getStats(t, ts)
+	if empty.Store.Docs != 0 || empty.Resolve.Runs != 0 || len(empty.Blocking.Indexes) != 0 {
+		t.Fatalf("fresh-server stats = %+v", empty)
+	}
+
+	ingestCollection(t, ts, col)
+
+	var run IncrementalResolveResponse
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{}, &run); code != http.StatusOK {
+		t.Fatalf("incremental resolve = %d", code)
+	}
+	if run.Blocking.Indexer != "index" {
+		t.Fatalf("blocking stats = %+v, want the index path", run.Blocking)
+	}
+	if run.Blocking.DeltaDocs != 24 && run.Blocking.DeltaDocs != 0 {
+		// The background warmer may have indexed the batch already; either
+		// way the docs are indexed exactly once.
+		t.Fatalf("first resolve delta_docs = %d, want 24 (cold) or 0 (warmed)", run.Blocking.DeltaDocs)
+	}
+	if run.Blocking.IndexedDocs != 24 || run.Blocking.Shards != 4 {
+		t.Fatalf("blocking stats = %+v, want 24 docs over 4 shards", run.Blocking)
+	}
+
+	var again IncrementalResolveResponse
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{}, &again); code != http.StatusOK {
+		t.Fatalf("second incremental resolve = %d", code)
+	}
+	if again.Blocking.DeltaDocs != 0 || again.Blocking.DirtyBlocks != 0 {
+		t.Fatalf("unchanged-store resolve blocking stats = %+v, want no delta", again.Blocking)
+	}
+	if again.Incremental.ReusedBlocks != again.Incremental.Blocks {
+		t.Fatalf("unchanged-store resolve reused %d of %d blocks", again.Incremental.ReusedBlocks, again.Incremental.Blocks)
+	}
+
+	st := getStats(t, ts)
+	if st.Store.Docs != 24 || st.Ingest.Batches != 1 {
+		t.Fatalf("stats store/ingest = %+v / %+v", st.Store, st.Ingest)
+	}
+	if st.Queue.Depth != 0 {
+		t.Fatalf("queue depth = %d after drain", st.Queue.Depth)
+	}
+	if st.Resolve.Runs != 2 || st.Resolve.Blocks != st.Resolve.ReusedBlocks+st.Resolve.PreparedBlocks+st.Resolve.TrivialBlocks {
+		t.Fatalf("resolve counters = %+v", st.Resolve)
+	}
+	if len(st.Blocking.Indexes) != 1 {
+		t.Fatalf("indexes = %+v, want exactly one", st.Blocking.Indexes)
+	}
+	idx := st.Blocking.Indexes[0]
+	if idx.Key != "exact|collection|4" || idx.Docs != 24 || len(idx.ShardKeys) != 4 {
+		t.Fatalf("index report = %+v", idx)
+	}
+	total := 0
+	for _, n := range idx.ShardKeys {
+		total += n
+	}
+	if total != idx.Keys {
+		t.Fatalf("shard keys sum to %d, index reports %d keys", total, idx.Keys)
+	}
+	if st.SnapshotStates != 1 {
+		t.Fatalf("snapshot states = %d", st.SnapshotStates)
+	}
+
+	// The stats endpoint is GET-only.
+	if code := postJSON(t, ts, "/v1/stats", struct{}{}, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats = %d, want 405", code)
+	}
+}
+
+// TestIncrementalSchemeFallbackReported pins that global schemes still
+// work and report the scheme path in the blocking stats.
+func TestIncrementalSchemeFallbackReported(t *testing.T) {
+	ts := testServer(t, Config{})
+	ingestCollection(t, ts, testCollection(t, 24))
+
+	var run IncrementalResolveResponse
+	req := IncrementalResolveRequest{}
+	req.Blocking = "sortedneighborhood"
+	if code := postJSON(t, ts, "/v1/resolve/incremental", req, &run); code != http.StatusOK {
+		t.Fatalf("incremental resolve = %d", code)
+	}
+	if run.Blocking.Indexer != "scheme" {
+		t.Fatalf("blocking stats = %+v, want the scheme path", run.Blocking)
+	}
+	st := getStats(t, ts)
+	if len(st.Blocking.Indexes) != 0 {
+		t.Fatalf("a global scheme grew an index: %+v", st.Blocking.Indexes)
+	}
+}
+
+// TestNamesKeysKnob pins the richer-keys knob end to end: "keys":"names"
+// is accepted, keyed separately from the default, and merges
+// cross-collection name variants into one block.
+func TestNamesKeysKnob(t *testing.T) {
+	ts := testServer(t, Config{})
+	variant := func(name, url, text string) *corpus.Collection {
+		return &corpus.Collection{Name: name, NumPersonas: 1, Docs: []corpus.Document{
+			{ID: 0, URL: url, Text: text, PersonaID: 0},
+		}}
+	}
+	ingestCollection(t, ts, variant("smith, j", "http://a.example/1", "John Smith wrote the database survey"))
+	ingestCollection(t, ts, variant("john smith", "http://b.example/1", "John Smith presented the keynote"))
+
+	var byCollection IncrementalResolveResponse
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{}, &byCollection); code != http.StatusOK {
+		t.Fatalf("default-keys resolve = %d", code)
+	}
+	if len(byCollection.Blocks) != 2 {
+		t.Fatalf("collection keys produced %d blocks, want 2", len(byCollection.Blocks))
+	}
+
+	var byNames IncrementalResolveResponse
+	req := IncrementalResolveRequest{}
+	req.Keys = "names"
+	if code := postJSON(t, ts, "/v1/resolve/incremental", req, &byNames); code != http.StatusOK {
+		t.Fatalf("names-keys resolve = %d", code)
+	}
+	if len(byNames.Blocks) != 1 || byNames.Blocks[0].Docs != 2 {
+		t.Fatalf("names keys produced %+v, want one merged 2-doc block", byNames.Blocks)
+	}
+
+	var errOut errorResponse
+	bad := IncrementalResolveRequest{}
+	bad.Keys = "bogus"
+	if code := postJSON(t, ts, "/v1/resolve/incremental", bad, &errOut); code != http.StatusBadRequest ||
+		!strings.Contains(errOut.Error, "collection, names") {
+		t.Fatalf("bogus keys = %d %+v, want 400 listing valid values", code, errOut)
+	}
+}
+
+// TestWarmerPersistsIndex pins that index state built by the background
+// warmer — not just by resolves — survives a restart: an ingest-heavy,
+// resolve-light server must not lose its keying work on shutdown.
+func TestWarmerPersistsIndex(t *testing.T) {
+	dir := t.TempDir()
+	data, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Store: data.Store, Snapshots: data.Snapshots, Indexes: data.Indexes})
+	ts := httptest.NewServer(srv.Handler())
+
+	// One resolve creates the index entry; the second ingest is only ever
+	// seen by the warmer.
+	ingestCollection(t, ts, testCollection(t, 10))
+	var run IncrementalResolveResponse
+	if code := postJSON(t, ts, "/v1/resolve/incremental", IncrementalResolveRequest{}, &run); code != http.StatusOK {
+		t.Fatalf("resolve = %d", code)
+	}
+	grown := testCollection(t, 20)
+	grown.Name = "cohen"
+	ingestCollection(t, ts, grown)
+	deadline := time.Now().Add(10 * time.Second)
+	for getStats(t, ts).Blocking.Indexes[0].Docs < 30 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond) // wait for the warmer to index the batch
+	}
+
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := data.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data2, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer data2.Close()
+	srv2 := New(Config{Store: data2.Store, Snapshots: data2.Snapshots, Indexes: data2.Indexes})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.Close(context.Background())
+
+	var after IncrementalResolveResponse
+	if code := postJSON(t, ts2, "/v1/resolve/incremental", IncrementalResolveRequest{}, &after); code != http.StatusOK {
+		t.Fatalf("post-restart resolve = %d", code)
+	}
+	if after.Blocking.DeltaDocs != 0 || after.Blocking.IndexedDocs != 30 {
+		t.Fatalf("post-restart blocking stats = %+v, want the warmer-built 30-doc index with no delta", after.Blocking)
+	}
+}
+
+// TestIndexSurvivesRestart pins the persistence satellite at the service
+// level: a second server over the same data directory serves its first
+// incremental resolve without re-keying the corpus — the index loads with
+// delta 0.
+func TestIndexSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	col := testCollection(t, 24)
+
+	open := func() (*Server, *httptest.Server, *persist.Data) {
+		data, err := persist.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := New(Config{Store: data.Store, Snapshots: data.Snapshots, Indexes: data.Indexes})
+		return srv, httptest.NewServer(srv.Handler()), data
+	}
+	shut := func(srv *Server, ts *httptest.Server, data *persist.Data) {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := data.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv1, ts1, data1 := open()
+	ingestCollection(t, ts1, col)
+	var before IncrementalResolveResponse
+	if code := postJSON(t, ts1, "/v1/resolve/incremental", IncrementalResolveRequest{}, &before); code != http.StatusOK {
+		t.Fatalf("pre-restart resolve = %d", code)
+	}
+	shut(srv1, ts1, data1)
+
+	srv2, ts2, data2 := open()
+	defer shut(srv2, ts2, data2)
+	var after IncrementalResolveResponse
+	if code := postJSON(t, ts2, "/v1/resolve/incremental", IncrementalResolveRequest{}, &after); code != http.StatusOK {
+		t.Fatalf("post-restart resolve = %d", code)
+	}
+	if after.Blocking.Indexer != "index" || after.Blocking.DeltaDocs != 0 {
+		t.Fatalf("post-restart blocking stats = %+v, want a loaded index with no delta", after.Blocking)
+	}
+	if after.Incremental.ReusedBlocks != after.Incremental.Blocks || after.Incremental.Blocks == 0 {
+		t.Fatalf("post-restart incremental stats = %+v, want every block reused", after.Incremental)
+	}
+}

@@ -54,6 +54,8 @@ type Queue struct {
 	jobs   map[string]*Job
 	seq    int
 	closed bool
+	// depth counts enqueued-but-unfinished jobs (pending + running).
+	depth int
 	// finished ring: IDs of terminal jobs in completion order, capped at
 	// keep; the head is evicted (removed from jobs) when the cap is hit.
 	finished []string
@@ -139,11 +141,21 @@ func (q *Queue) Enqueue(kind string, run func(context.Context) (any, error)) (Jo
 	select {
 	case q.ch <- queued{id: job.ID, run: run}:
 		q.seq++
+		q.depth++
 		q.jobs[job.ID] = job
 		return *job, nil
 	default:
 		return Job{}, fmt.Errorf("store: job backlog full (%d pending)", cap(q.ch))
 	}
+}
+
+// Depth reports the number of jobs enqueued but not yet finished (pending
+// plus running) — the queue's backpressure signal, exposed by the service
+// stats endpoint.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
 }
 
 // GetOutcome classifies a Get lookup.
@@ -197,6 +209,7 @@ func (q *Queue) finish(id string, result any, err error) {
 	if !ok {
 		return
 	}
+	q.depth--
 	now := time.Now().UTC()
 	job.FinishedAt = &now
 	switch {

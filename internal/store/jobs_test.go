@@ -265,3 +265,35 @@ func TestQueueEnqueueShutdownRace(t *testing.T) {
 		wg.Wait()
 	}
 }
+
+func TestQueueDepth(t *testing.T) {
+	q := NewQueue(4, 0)
+	defer q.Shutdown(context.Background())
+	if q.Depth() != 0 {
+		t.Fatalf("fresh queue depth %d", q.Depth())
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := q.Enqueue("block", func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	job, err := q.Enqueue("wait", func(context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Depth() != 2 {
+		t.Fatalf("depth %d with one running and one pending job, want 2", q.Depth())
+	}
+	close(release)
+	if got := waitStatus(t, q, job.ID); got.Status != JobDone {
+		t.Fatalf("job status %s, want done", got.Status)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("depth %d after drain, want 0", q.Depth())
+	}
+}

@@ -50,6 +50,17 @@ type DocumentStore interface {
 	Stats() Stats
 }
 
+// AppendObserver is implemented by stores that can notify interested
+// parties — index maintainers, metrics — after a batch commits. The
+// callback runs outside the store's locks, after the commit it reports,
+// and receives the post-commit stats; callbacks must be fast or hand off
+// to their own goroutine. Under concurrent appends, notification order is
+// not guaranteed to match commit order — observers needing exact state
+// should re-read the store, not trust the carried stats to be newest.
+type AppendObserver interface {
+	SubscribeAppend(fn func(Stats))
+}
+
 // memCollection is one named collection's mutable state.
 type memCollection struct {
 	name     string
@@ -64,6 +75,14 @@ type MemStore struct {
 	byName  map[string]*memCollection
 	version uint64
 	docs    int
+	subs    []func(Stats)
+}
+
+// SubscribeAppend implements AppendObserver.
+func (m *MemStore) SubscribeAppend(fn func(Stats)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, fn)
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -101,7 +120,6 @@ func (m *MemStore) Append(cols []*corpus.Collection) (int, error) {
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	added := 0
 	mutated := false
 	for _, col := range cols {
@@ -128,6 +146,17 @@ func (m *MemStore) Append(cols []*corpus.Collection) (int, error) {
 		m.version++
 	}
 	m.docs += added
+	stats := Stats{Collections: len(m.order), Docs: m.docs, Version: m.version}
+	subs := m.subs
+	m.mu.Unlock()
+
+	// Notify after the commit, outside the lock, so observers may read the
+	// store (or trigger index maintenance that does) without deadlocking.
+	if added > 0 || mutated {
+		for _, fn := range subs {
+			fn(stats)
+		}
+	}
 	return added, nil
 }
 

@@ -127,3 +127,41 @@ func TestMemStoreConcurrentAppend(t *testing.T) {
 		}
 	}
 }
+
+// TestSubscribeAppendNotifiesAfterCommit pins the observer contract:
+// callbacks run after the batch is visible, outside the store's locks (the
+// callback reads the store back), and only for batches that changed it.
+func TestSubscribeAppendNotifiesAfterCommit(t *testing.T) {
+	m := NewMemStore()
+	var got []Stats
+	m.SubscribeAppend(func(st Stats) {
+		// Reading the store inside the callback must not deadlock, and
+		// must already see the commit the callback reports.
+		if live := m.Stats(); live.Docs < st.Docs {
+			t.Errorf("callback carried %d docs but the store reports %d", st.Docs, live.Docs)
+		}
+		got = append(got, st)
+	})
+
+	if _, err := m.Append([]*corpus.Collection{col("smith", 0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append([]*corpus.Collection{col("smith", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	// A no-op batch (nothing added, nothing created) does not notify.
+	if _, err := m.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Docs != 2 || got[1].Docs != 3 {
+		t.Fatalf("notifications = %+v, want docs 2 then 3", got)
+	}
+
+	// A failed append notifies nobody.
+	if _, err := m.Append([]*corpus.Collection{{Name: ""}}); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if len(got) != 2 {
+		t.Fatalf("failed append notified: %+v", got)
+	}
+}
