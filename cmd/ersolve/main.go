@@ -40,6 +40,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -213,21 +215,57 @@ func runServe(args []string) error {
 		JobHistory:     *history,
 		BlockShards:    *shards,
 	}
+
+	// The listener comes up immediately with a bootstrap handler that
+	// answers 503 to everything — /readyz included — while the data
+	// directory is opened and its journal replayed in the background. Once
+	// replay finishes, the real service handler is swapped in atomically
+	// and /readyz flips to 200, so an orchestrator can start the process,
+	// point a readiness probe at it, and route traffic only when recovery
+	// is done — a large journal no longer looks like a hung start.
+	var handler atomic.Value
+	handler.Store(http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"starting","detail":"journal replay in progress"}`)
+	})))
+	httpSrv := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+
+	// srv and data are published by the opener goroutine and consumed by
+	// the shutdown goroutine; either may still be nil when a very early
+	// signal arrives.
+	var mu sync.Mutex
 	var data *persist.Data
-	if *dataDir != "" {
-		var err error
-		if data, err = persist.Open(*dataDir); err != nil {
-			return err
+	var srv *service.Server
+	openFail := make(chan error, 1)
+	go func() {
+		if *dataDir != "" {
+			d, err := persist.Open(*dataDir)
+			if err != nil {
+				openFail <- err
+				httpSrv.Close()
+				return
+			}
+			st := d.Store.Stats()
+			fmt.Fprintf(os.Stderr, "ersolve: data directory %s: %d collections, %d documents (version %d)\n",
+				*dataDir, st.Collections, st.Docs, st.Version)
+			cfg.Store = d.Store
+			cfg.Snapshots = d.Snapshots
+			cfg.Indexes = d.Indexes
+			mu.Lock()
+			data = d
+			mu.Unlock()
 		}
-		cfg.Store = data.Store
-		cfg.Snapshots = data.Snapshots
-		cfg.Indexes = data.Indexes
-		st := data.Store.Stats()
-		fmt.Fprintf(os.Stderr, "ersolve: data directory %s: %d collections, %d documents (version %d)\n",
-			*dataDir, st.Collections, st.Docs, st.Version)
-	}
-	srv := service.New(cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+		s := service.New(cfg)
+		mu.Lock()
+		srv = s
+		mu.Unlock()
+		handler.Store(http.Handler(s.Handler()))
+		fmt.Fprintln(os.Stderr, "ersolve: ready")
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -242,11 +280,16 @@ func runServe(args []string) error {
 		// finally flush and close the data directory so the last journal
 		// write and segment state land on disk.
 		err := httpSrv.Shutdown(shutdownCtx)
-		if cerr := srv.Close(shutdownCtx); err == nil && cerr != nil {
-			err = fmt.Errorf("draining ingest jobs: %w", cerr)
+		mu.Lock()
+		s, d := srv, data
+		mu.Unlock()
+		if s != nil {
+			if cerr := s.Close(shutdownCtx); err == nil && cerr != nil {
+				err = fmt.Errorf("draining ingest jobs: %w", cerr)
+			}
 		}
-		if data != nil {
-			if cerr := data.Close(); err == nil && cerr != nil {
+		if d != nil {
+			if cerr := d.Close(); err == nil && cerr != nil {
 				err = fmt.Errorf("flushing data directory: %w", cerr)
 			}
 		}
@@ -256,7 +299,13 @@ func runServe(args []string) error {
 	fmt.Fprintf(os.Stderr,
 		"ersolve: serving POST /v1/resolve, /v1/collections, /v1/resolve/incremental on %s (timeout %v)\n",
 		*addr, *timeout)
-	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	err := httpSrv.ListenAndServe()
+	select {
+	case oerr := <-openFail:
+		return oerr
+	default:
+	}
+	if !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return <-done

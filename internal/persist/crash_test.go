@@ -1,0 +1,320 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blockindex"
+	"repro/internal/blocking"
+	"repro/internal/faultfs"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// quietLog drops recovery chatter; the crash harness triggers hundreds of
+// expected recoveries and their logs would bury real failures.
+func quietLog(string, ...any) {}
+
+// TestCrashEveryIOBoundary is the crash harness: one ingest lifecycle —
+// open, append batches, save a snapshot and an index, close — is first
+// probed to count its mutating filesystem operations, then re-run once
+// per operation with a crash injected exactly there (clean crash and
+// torn-write crash both), the directory reopened with a healthy
+// filesystem, and the recovered state checked:
+//
+//   - every acknowledged batch is present (the fsync-before-ack
+//     contract); at most the one in-flight unacknowledged batch may
+//     additionally survive (it was fully journaled before the fault),
+//   - the snapshot and index files load cleanly or are absent — never
+//     garbage, never quarantined (saves are atomic temp+rename),
+//   - no *.tmp orphan outlives the reopen sweep.
+func TestCrashEveryIOBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the crash harness replays the scenario once per I/O boundary")
+	}
+	batches := testBatches(t)
+
+	// Reference stores: memJSON[k] is the canonical byte form of the store
+	// after the first k batches.
+	memJSON := make([][]byte, len(batches)+1)
+	mem := store.NewMemStore()
+	memJSON[0], _ = storeJSON(t, mem)
+	for k, batch := range batches {
+		if _, err := mem.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		memJSON[k+1], _ = storeJSON(t, mem)
+	}
+
+	// One snapshot and one index, prepared once: the harness exercises
+	// their I/O, not their construction.
+	pl := testPipeline(t)
+	run, err := pl.RunIncremental(context.Background(), batches[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const snapKey = "best|closure|exact|0.1|10|42"
+	const idxKey = "token|collection|4"
+	idxCfg := blockindex.Config{Scheme: blocking.TokenBlocking{}, Shards: 4}
+	idx, err := blockindex.New(idxCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Update(indexCols()); err != nil {
+		t.Fatal(err)
+	}
+
+	// scenario is the lifecycle under test. It returns how many batches
+	// were acknowledged; a crashed run simply stops acknowledging.
+	scenario := func(fsys faultfs.FS, dir string) (acked int) {
+		data, err := OpenWithOptions(dir, Options{FS: fsys, Log: quietLog})
+		if err != nil {
+			return 0
+		}
+		defer data.Close() // after a crash this fails too; a dead process cannot flush
+		for _, batch := range batches {
+			if _, err := data.Store.Append(batch); err == nil {
+				acked++
+			}
+		}
+		_ = data.Snapshots.Save(snapKey, run.Snapshot)
+		_, _ = data.Indexes.SaveIndex(idxKey, idx)
+		return acked
+	}
+
+	// Probe: an unarmed injector counts the boundaries and proves the
+	// scenario is clean end to end.
+	probe := faultfs.NewInjector(nil)
+	if got := scenario(probe, t.TempDir()); got != len(batches) {
+		t.Fatalf("probe run acked %d/%d batches", got, len(batches))
+	}
+	total := probe.Ops()
+	if total < 15 {
+		t.Fatalf("probe counted %d mutating ops; the scenario lost its I/O coverage", total)
+	}
+
+	for _, mode := range []struct {
+		name string
+		arm  func(*faultfs.Injector, int)
+	}{
+		{"crash", (*faultfs.Injector).CrashAt},
+		{"torn", (*faultfs.Injector).TornCrashAt},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			for n := 1; n <= total; n++ {
+				dir := t.TempDir()
+				in := faultfs.NewInjector(nil)
+				mode.arm(in, n)
+				acked := scenario(in, dir)
+				if !in.Faulted() {
+					t.Fatalf("op %d: planned fault never fired (scenario shrank to %d ops?)", n, in.Ops())
+				}
+
+				// Restart with a healthy filesystem.
+				data, err := OpenWithOptions(dir, Options{Log: quietLog})
+				if err != nil {
+					t.Fatalf("op %d: reopen after crash failed: %v", n, err)
+				}
+				gotJSON, _ := storeJSON(t, data.Store)
+				ok := bytes.Equal(gotJSON, memJSON[acked])
+				if !ok && acked < len(batches) {
+					// The in-flight batch was fully journaled before the
+					// fault (e.g. the bytes landed, the sync faulted): not
+					// acknowledged, but legitimately durable.
+					ok = bytes.Equal(gotJSON, memJSON[acked+1])
+				}
+				if !ok {
+					t.Fatalf("op %d: reopened store lost acknowledged data (%d batches acked)", n, acked)
+				}
+
+				// Snapshot and index either load cleanly or are absent;
+				// atomic publication means a crash can never leave a
+				// half-written file under the real name.
+				if _, err := data.Snapshots.Load(snapKey, pl); err != nil {
+					t.Fatalf("op %d: snapshot load after crash: %v", n, err)
+				}
+				if _, err := data.Indexes.LoadIndex(idxKey, idxCfg); err != nil {
+					t.Fatalf("op %d: index load after crash: %v", n, err)
+				}
+				if q := data.Snapshots.Quarantined() + data.Indexes.Quarantined(); q != 0 {
+					t.Fatalf("op %d: atomic saves still produced %d quarantined files", n, q)
+				}
+				for _, sub := range []string{"snapshots", "indexes"} {
+					orphans, err := filepath.Glob(filepath.Join(dir, sub, "*.tmp"))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(orphans) != 0 {
+						t.Fatalf("op %d: %s kept %d orphaned temp files after reopen", n, sub, len(orphans))
+					}
+				}
+				if err := data.Close(); err != nil {
+					t.Fatalf("op %d: closing recovered store: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestQuarantineAndRebuild is the degradation acceptance test at the
+// service level: a restart finds its persisted snapshot AND blocking
+// index corrupted on disk. The resolve must not fail — the damaged files
+// are quarantined (*.corrupt) and both artifacts are rebuilt from the
+// journaled corpus, with cluster output identical to the pre-damage run,
+// and the degradation visible in /v1/stats.
+func TestQuarantineAndRebuild(t *testing.T) {
+	dir := t.TempDir()
+	const knobs = `{"seed": 42, "blocking": "token"}`
+
+	data1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := service.New(service.Config{Store: data1.Store, Snapshots: data1.Snapshots, Indexes: data1.Indexes})
+	ts1 := httptest.NewServer(srv1.Handler())
+	ingestAll(t, ts1, restartCorpus(t))
+	before := postIncremental(t, ts1, knobs)
+	ts1.Close()
+	// Graceful close so the blocking index is persisted alongside the
+	// snapshot; the damage below must find both artifacts on disk.
+	if err := srv1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := data1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt every persisted snapshot and index file in place: flip a
+	// byte deep inside each — past the envelope, inside the codec's
+	// checksummed payload.
+	damaged := 0
+	for _, pattern := range []string{"snapshots/*.snap", "indexes/*.idx"} {
+		files, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range files {
+			buf, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf[len(buf)-9] ^= 0x40
+			if err := os.WriteFile(name, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			damaged++
+		}
+	}
+	if damaged < 2 {
+		t.Fatalf("damaged only %d persisted files; expected at least a snapshot and an index", damaged)
+	}
+
+	// Restart onto the damaged directory.
+	data2, err := OpenWithOptions(dir, Options{Log: quietLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer data2.Close()
+	srv2 := service.New(service.Config{
+		Store: data2.Store, Snapshots: data2.Snapshots, Indexes: data2.Indexes,
+		ErrorLog: quietLog,
+	})
+	defer srv2.Close(context.Background())
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	// The resolve succeeds despite the damage and rebuilds from the
+	// journaled corpus: clusters equal the pre-damage run's.
+	after := postIncremental(t, ts2, knobs)
+	if after.Incremental.ReusedBlocks != 0 {
+		t.Errorf("run against quarantined state reused %d blocks; it must rebuild", after.Incremental.ReusedBlocks)
+	}
+	if len(after.Blocks) != len(before.Blocks) {
+		t.Fatalf("block count changed across quarantine: %d vs %d", len(after.Blocks), len(before.Blocks))
+	}
+	for i := range before.Blocks {
+		a, b := before.Blocks[i], after.Blocks[i]
+		if a.Name != b.Name || !equalLabels(a.Labels, b.Labels) {
+			t.Errorf("block %q: clusters diverged after quarantine-and-rebuild (%v vs %v)", a.Name, a.Labels, b.Labels)
+		}
+	}
+
+	// The damage is quarantined, not deleted or still in place.
+	for _, pattern := range []string{"snapshots/*.corrupt", "indexes/*.corrupt"} {
+		files, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Errorf("no quarantined files match %s", pattern)
+		}
+	}
+	if got := data2.Snapshots.Quarantined(); got != 1 {
+		t.Errorf("snapshot quarantine count = %d, want 1", got)
+	}
+	if got := data2.Indexes.Quarantined(); got != 1 {
+		t.Errorf("index quarantine count = %d, want 1", got)
+	}
+
+	// /v1/stats surfaces the degradation.
+	var stats struct {
+		Degraded struct {
+			QuarantinedSnapshots int64 `json:"quarantined_snapshots"`
+			QuarantinedIndexes   int64 `json:"quarantined_indexes"`
+			SnapshotLoadFailures int64 `json:"snapshot_load_failures"`
+			IndexLoadFailures    int64 `json:"index_load_failures"`
+		} `json:"degraded"`
+	}
+	getJSON(t, ts2, "/v1/stats", &stats)
+	d := stats.Degraded
+	if d.QuarantinedSnapshots != 1 || d.QuarantinedIndexes != 1 {
+		t.Errorf("degraded stats = %+v, want one snapshot and one index quarantine", d)
+	}
+	if d.SnapshotLoadFailures < 1 || d.IndexLoadFailures < 1 {
+		t.Errorf("degraded stats = %+v, want the load failures counted", d)
+	}
+
+	// The rebuild re-persisted clean state: the next restart loads it and
+	// reuses every block again.
+	ts2.Close()
+	if err := srv2.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := data2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer data3.Close()
+	srv3 := service.New(service.Config{Store: data3.Store, Snapshots: data3.Snapshots, Indexes: data3.Indexes})
+	defer srv3.Close(context.Background())
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+	healed := postIncremental(t, ts3, knobs)
+	if healed.Incremental.ReusedBlocks != healed.Incremental.Blocks || healed.Incremental.Blocks == 0 {
+		t.Errorf("post-rebuild restart stats = %+v, want every block reused", healed.Incremental)
+	}
+}
+
+// getJSON fetches path from the test server and decodes the JSON reply.
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s status = %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

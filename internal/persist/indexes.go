@@ -9,9 +9,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"sync/atomic"
 
 	"repro/internal/blockindex"
+	"repro/internal/faultfs"
 )
 
 // idxFileMagic heads every persisted index file; the digit is the envelope
@@ -28,27 +29,32 @@ const defaultMaxIndexFiles = 16
 // IndexDir stores one encoded blockindex.Index per blocking configuration,
 // each in its own file named by a hash of the configuration key. Saves are
 // atomic (temp file + rename), the key is verified on load, and damage
-// surfaces as the codec's typed errors — the caller rebuilds from the
-// corpus, losing only the restart head-start, never correctness.
+// surfaces as the codec's typed errors — the damaged file is quarantined
+// (renamed *.corrupt) and the caller rebuilds from the corpus, losing only
+// the restart head-start, never correctness.
 type IndexDir struct {
-	dir string
+	dir  string
+	fsys faultfs.FS
+	logf func(format string, args ...any)
 	// MaxFiles bounds the number of .idx files kept; values < 1 select
 	// defaultMaxIndexFiles.
 	MaxFiles int
+	// quarantined counts the damaged files LoadIndex renamed aside.
+	quarantined atomic.Int64
 }
 
 // NewIndexDir returns an index directory rooted at dir, creating it if
 // needed and sweeping temp files orphaned by a crash mid-save.
 func NewIndexDir(dir string) (*IndexDir, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return newIndexDir(dir, Options{}.withDefaults())
+}
+
+func newIndexDir(dir string, opts Options) (*IndexDir, error) {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: creating %s: %w", dir, err)
 	}
-	if orphans, err := filepath.Glob(filepath.Join(dir, ".idx-*")); err == nil {
-		for _, name := range orphans {
-			_ = os.Remove(name)
-		}
-	}
-	return &IndexDir{dir: dir}, nil
+	sweepOrphans(opts.FS, dir, ".idx-*")
+	return &IndexDir{dir: dir, fsys: opts.FS, logf: opts.Log}, nil
 }
 
 // path names the index file of one configuration key.
@@ -57,6 +63,10 @@ func (d *IndexDir) path(key string) string {
 	return filepath.Join(d.dir, hex.EncodeToString(sum[:12])+".idx")
 }
 
+// Quarantined reports how many damaged index files this directory has
+// renamed aside since it was opened.
+func (d *IndexDir) Quarantined() int64 { return d.quarantined.Load() }
+
 // SaveIndex atomically writes the index for one blocking-configuration key
 // and returns the index version the file reflects, so the caller can skip
 // future saves while the index is unchanged.
@@ -64,11 +74,11 @@ func (d *IndexDir) SaveIndex(key string, idx *blockindex.Index) (uint64, error) 
 	if len(key) > maxSnapshotKeyBytes {
 		return 0, fmt.Errorf("persist: index key is %d bytes, cap is %d", len(key), maxSnapshotKeyBytes)
 	}
-	tmp, err := os.CreateTemp(d.dir, ".idx-*")
+	tmp, err := d.fsys.CreateTemp(d.dir, ".idx-*.tmp")
 	if err != nil {
 		return 0, fmt.Errorf("persist: creating index temp file: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer d.fsys.Remove(tmp.Name()) // no-op after a successful rename
 
 	var envelope bytes.Buffer
 	envelope.WriteString(idxFileMagic)
@@ -92,11 +102,11 @@ func (d *IndexDir) SaveIndex(key string, idx *blockindex.Index) (uint64, error) 
 	if err := tmp.Close(); err != nil {
 		return 0, fmt.Errorf("persist: closing index temp file: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+	if err := d.fsys.Rename(tmp.Name(), d.path(key)); err != nil {
 		return 0, fmt.Errorf("persist: publishing index: %w", err)
 	}
-	if err := syncDir(d.dir); err != nil {
-		return 0, err
+	if err := d.fsys.SyncDir(d.dir); err != nil {
+		return 0, fmt.Errorf("persist: syncing directory %s: %w", d.dir, err)
 	}
 	d.prune()
 	return version, nil
@@ -108,34 +118,19 @@ func (d *IndexDir) prune() {
 	if limit < 1 {
 		limit = defaultMaxIndexFiles
 	}
-	names, err := filepath.Glob(filepath.Join(d.dir, "*.idx"))
-	if err != nil || len(names) <= limit {
-		return
-	}
-	type aged struct {
-		name string
-		mod  int64
-	}
-	files := make([]aged, 0, len(names))
-	for _, name := range names {
-		info, err := os.Stat(name)
-		if err != nil {
-			continue
-		}
-		files = append(files, aged{name: name, mod: info.ModTime().UnixNano()})
-	}
-	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
-	for i := 0; i+limit < len(files); i++ {
-		_ = os.Remove(files[i].name)
-	}
+	pruneOldest(d.fsys, filepath.Join(d.dir, "*.idx"), limit)
 }
 
 // LoadIndex reads the index saved for key and rebuilds it under cfg, which
 // must describe the same blocking configuration (the key is the caller's
 // encoding of it). A missing file returns (nil, nil): no index is not an
-// error. A present-but-damaged file returns the codec's typed error.
+// error. A present-but-damaged file is quarantined (renamed *.corrupt) and
+// returns the codec's typed error — blockindex.ErrCodecVersion for version
+// skew, blockindex.ErrCodecCorrupt for damage — so the caller rebuilds
+// either way, knowing the next save starts clean.
 func (d *IndexDir) LoadIndex(key string, cfg blockindex.Config) (*blockindex.Index, error) {
-	f, err := os.Open(d.path(key))
+	path := d.path(key)
+	f, err := d.fsys.OpenFile(path, os.O_RDONLY, 0)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -144,29 +139,33 @@ func (d *IndexDir) LoadIndex(key string, cfg blockindex.Config) (*blockindex.Ind
 	}
 	defer f.Close()
 
+	damaged := func(err error) error {
+		quarantine(&d.quarantined, d.fsys, d.logf, path, err)
+		return err
+	}
 	header := make([]byte, len(idxFileMagic)+4)
 	if _, err := io.ReadFull(f, header); err != nil {
-		return nil, fmt.Errorf("persist: index %s: truncated envelope: %w", d.path(key), err)
+		return nil, damaged(fmt.Errorf("persist: index %s: truncated envelope: %w", path, err))
 	}
 	if string(header[:len(idxFileMagic)]) != idxFileMagic {
-		return nil, fmt.Errorf("persist: index %s: bad magic %q (foreign file or unsupported envelope version)",
-			d.path(key), header[:len(idxFileMagic)])
+		return nil, damaged(fmt.Errorf("persist: index %s: bad magic %q (foreign file or unsupported envelope version)",
+			path, header[:len(idxFileMagic)]))
 	}
 	klen := binary.LittleEndian.Uint32(header[len(idxFileMagic):])
 	if klen > maxSnapshotKeyBytes {
-		return nil, fmt.Errorf("persist: index %s: key length %d is corrupt", d.path(key), klen)
+		return nil, damaged(fmt.Errorf("persist: index %s: key length %d is corrupt", path, klen))
 	}
 	gotKey := make([]byte, klen)
 	if _, err := io.ReadFull(f, gotKey); err != nil {
-		return nil, fmt.Errorf("persist: index %s: truncated key: %w", d.path(key), err)
+		return nil, damaged(fmt.Errorf("persist: index %s: truncated key: %w", path, err))
 	}
 	if string(gotKey) != key {
-		return nil, fmt.Errorf("persist: index %s was saved for configuration %q, not %q",
-			d.path(key), gotKey, key)
+		return nil, damaged(fmt.Errorf("persist: index %s was saved for configuration %q, not %q",
+			path, gotKey, key))
 	}
 	idx, err := blockindex.Decode(f, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("persist: index %s: %w", d.path(key), err)
+		return nil, damaged(fmt.Errorf("persist: index %s: %w", path, err))
 	}
 	return idx, nil
 }

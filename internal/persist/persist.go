@@ -1,22 +1,33 @@
 // Package persist implements the disk backends behind `ersolve serve
 // -data`: a durable store.DocumentStore that journals every ingest batch
-// to an append-only segment log and replays it on open, and a snapshot
-// directory holding one versioned pipeline.Snapshot per resolution
-// configuration. Together they let a restarted server resume with both
-// the corpus and every configuration's incremental state intact — the
-// first incremental resolution after a restart reuses every block.
+// to an append-only segment log and replays it on open, and snapshot and
+// index directories holding one versioned file per configuration.
+// Together they let a restarted server resume with both the corpus and
+// every configuration's incremental state intact — the first incremental
+// resolution after a restart reuses every block.
 //
 // Durability model: a batch is journaled (written and fsynced) before
 // Append returns, so an acknowledged ingest survives a crash. Replay
 // re-runs the journaled batches through the same in-memory merge the live
 // path uses, and that merge is deterministic, so the reopened store is
 // byte-identical to the pre-crash one — preserving the append-only
-// document positions incremental resolution fingerprints. Snapshot files
-// are written to a temporary file and atomically renamed into place, so a
-// crash mid-save leaves the previous snapshot intact. Corruption —
-// truncated segments, checksum mismatches, foreign or future-version
-// files — fails open (or load) with a clear error instead of quietly
-// resolving against damaged state.
+// document positions incremental resolution fingerprints. Snapshot and
+// index files are written to a temporary file and atomically renamed into
+// place, so a crash mid-save leaves the previous file intact.
+//
+// Recovery model: damage is classified before it is punished. A torn tail
+// — the final record of the newest segment cut short or checksum-broken,
+// with nothing after it — is the legitimate artifact of a power cut
+// mid-append; since the write was never acknowledged, the log is
+// truncated to the last good record and appending continues (the event is
+// logged and counted). Interior corruption — damage with acknowledged
+// records after it, a foreign header, an unreadable interior segment —
+// still fails Open with a clear error: acknowledged data is at stake and
+// silently shortening the log would violate the append-only contract.
+// Damaged snapshot or index files are quarantined (renamed *.corrupt) on
+// load so the caller rebuilds from the journaled corpus instead of
+// tripping over the same file forever. All file I/O goes through
+// internal/faultfs, so the crash harness can interrupt any boundary.
 package persist
 
 import (
@@ -25,6 +36,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -32,6 +44,7 @@ import (
 	"syscall"
 
 	"repro/internal/corpus"
+	"repro/internal/faultfs"
 	"repro/internal/store"
 )
 
@@ -51,6 +64,28 @@ const maxRecordBytes = 1 << 30
 // segmentCRC is the Castagnoli table used for record checksums.
 var segmentCRC = crc32.MakeTable(crc32.Castagnoli)
 
+// Options customizes Open beyond its defaults; the zero value selects the
+// real filesystem and the standard logger.
+type Options struct {
+	// FS is the filesystem the backends write through; nil selects the
+	// real one. Tests thread a faultfs.Injector here to crash the store
+	// at chosen I/O boundaries.
+	FS faultfs.FS
+	// Log receives recovery and quarantine events (torn-tail truncation,
+	// corrupt-file quarantine); nil selects log.Printf.
+	Log func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
+	}
+	if o.Log == nil {
+		o.Log = log.Printf
+	}
+	return o
+}
+
 // Data bundles the disk backends rooted in one -data directory.
 type Data struct {
 	// Store is the durable document store.
@@ -67,18 +102,25 @@ type Data struct {
 
 // Open prepares the data directory (creating it if needed), takes an
 // exclusive lock on it, replays the segment log into a fresh in-memory
-// store, and returns the durable backends. It fails with a descriptive
-// error on any sign of corruption — a truncated or damaged log is never
-// silently skipped — and when another live process already owns the
-// directory (two writers appending to one journal would interleave
-// records and destroy it). The lock is advisory (flock) and released by
-// Close or process death, so a crashed process never wedges a restart.
+// store, and returns the durable backends. A torn tail on the newest
+// segment is recovered by truncation (no acknowledged batch can live
+// there); every other sign of corruption fails with a descriptive error,
+// as does another live process already owning the directory (two writers
+// appending to one journal would interleave records and destroy it). The
+// lock is advisory (flock) and released by Close or process death, so a
+// crashed process never wedges a restart.
 func Open(dir string) (*Data, error) {
+	return OpenWithOptions(dir, Options{})
+}
+
+// OpenWithOptions is Open with an explicit filesystem and event logger.
+func OpenWithOptions(dir string, opts Options) (*Data, error) {
+	opts = opts.withDefaults()
 	segDir := filepath.Join(dir, "segments")
 	snapDir := filepath.Join(dir, "snapshots")
 	idxDir := filepath.Join(dir, "indexes")
 	for _, d := range []string{segDir, snapDir, idxDir} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := opts.FS.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("persist: creating %s: %w", d, err)
 		}
 	}
@@ -86,18 +128,18 @@ func Open(dir string) (*Data, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := openStore(segDir)
+	st, err := openStore(segDir, opts)
 	if err != nil {
 		lock.Close()
 		return nil, err
 	}
-	snaps, err := NewSnapshotDir(snapDir)
+	snaps, err := newSnapshotDir(snapDir, opts)
 	if err != nil {
 		st.Close()
 		lock.Close()
 		return nil, err
 	}
-	indexes, err := NewIndexDir(idxDir)
+	indexes, err := newIndexDir(idxDir, opts)
 	if err != nil {
 		st.Close()
 		lock.Close()
@@ -106,7 +148,10 @@ func Open(dir string) (*Data, error) {
 	return &Data{Store: st, Snapshots: snaps, Indexes: indexes, lock: lock}, nil
 }
 
-// lockDir takes a non-blocking exclusive flock on DIR/lock.
+// lockDir takes a non-blocking exclusive flock on DIR/lock. The lock file
+// bypasses the pluggable filesystem: flock needs a real descriptor, and a
+// simulated crash must keep holding the real lock exactly as a dying
+// process would until its descriptors close.
 func lockDir(dir string) (*os.File, error) {
 	path := filepath.Join(dir, "lock")
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
@@ -143,11 +188,17 @@ func (d *Data) Close() error {
 type Store struct {
 	mu      sync.Mutex
 	mem     *store.MemStore
+	fsys    faultfs.FS
+	logf    func(format string, args ...any)
 	dir     string
-	seg     *os.File
+	seg     faultfs.File
 	segSeq  int
 	segSize int64
 	closed  bool
+	// tornTails counts the torn-tail recoveries replay performed on this
+	// open: newest-segment records cut short by a crash mid-append,
+	// truncated away because they were never acknowledged.
+	tornTails int
 	// failed is the sticky first journal error. After a failed or torn
 	// record write the on-disk log no longer matches what further merges
 	// would build, so the store refuses all subsequent Appends rather
@@ -166,21 +217,31 @@ func (s *Store) SubscribeAppend(fn func(store.Stats)) {
 	s.mem.SubscribeAppend(fn)
 }
 
+// TornTailRecoveries reports how many torn journal tails this open
+// truncated away — the service surfaces it in /v1/stats so operators see
+// that a crash recovery happened (and that it cost no acknowledged data).
+func (s *Store) TornTailRecoveries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tornTails
+}
+
 // segmentPath names segment seq inside dir.
 func segmentPath(dir string, seq int) string {
 	return filepath.Join(dir, fmt.Sprintf("%08d.seg", seq))
 }
 
 // openStore replays every segment in dir and opens the newest one for
-// appending.
-func openStore(dir string) (*Store, error) {
-	names, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+// appending, recovering the newest segment's torn tail if a crash
+// mid-append left one.
+func openStore(dir string, opts Options) (*Store, error) {
+	names, err := opts.FS.Glob(filepath.Join(dir, "*.seg"))
 	if err != nil {
 		return nil, fmt.Errorf("persist: listing segments: %w", err)
 	}
 	sort.Strings(names)
 
-	s := &Store{mem: store.NewMemStore(), dir: dir}
+	s := &Store{mem: store.NewMemStore(), dir: dir, fsys: opts.FS, logf: opts.Log}
 	for i, name := range names {
 		if i == len(names)-1 {
 			// A crash between creating a new segment and syncing its
@@ -190,16 +251,22 @@ func openStore(dir string) (*Store, error) {
 			// rotation artifact, not corruption: remove it and recreate
 			// it cleanly below. Anything ≥ header-sized still gets the
 			// full magic/framing checks.
-			if info, err := os.Stat(name); err == nil && info.Size() < int64(len(segmentMagic)) {
-				if err := os.Remove(name); err != nil {
+			if info, err := s.fsys.Stat(name); err == nil && info.Size() < int64(len(segmentMagic)) {
+				if err := s.fsys.Remove(name); err != nil {
 					return nil, fmt.Errorf("persist: removing aborted segment %s: %w", name, err)
 				}
 				names = names[:len(names)-1]
 				break
 			}
 		}
-		if err := s.replaySegment(name); err != nil {
+		tornAt, err := s.replaySegment(name, i == len(names)-1)
+		if err != nil {
 			return nil, err
+		}
+		if tornAt >= 0 {
+			if err := s.recoverTornTail(name, tornAt); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for _, name := range names {
@@ -213,7 +280,7 @@ func openStore(dir string) (*Store, error) {
 		// Append to the newest segment rather than opening a new one per
 		// process start.
 		last := names[len(names)-1]
-		f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := s.fsys.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("persist: opening %s for append: %w", last, err)
 		}
@@ -231,6 +298,38 @@ func openStore(dir string) (*Store, error) {
 	return s, nil
 }
 
+// recoverTornTail truncates the newest segment to the end of its last
+// good record and makes the truncation durable. Only unacknowledged bytes
+// are cut: the torn record's Append returned an error (or never
+// returned), so no client was promised it.
+func (s *Store) recoverTornTail(name string, tornAt int64) error {
+	info, err := s.fsys.Stat(name)
+	if err != nil {
+		return fmt.Errorf("persist: sizing torn segment %s: %w", name, err)
+	}
+	s.logf("persist: segment %s: torn tail at offset %d: truncating %d trailing bytes of an unacknowledged write (recovered, no acked data lost)",
+		name, tornAt, info.Size()-tornAt)
+	if err := s.fsys.Truncate(name, tornAt); err != nil {
+		return fmt.Errorf("persist: truncating torn tail of %s: %w", name, err)
+	}
+	// Sync the truncation: recovery that itself evaporates on the next
+	// power cut would re-run forever, and appends assume the file ends at
+	// the recorded offset.
+	f, err := s.fsys.OpenFile(name, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: reopening %s after truncation: %w", name, err)
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("persist: syncing truncated %s: %w", name, err)
+	}
+	s.tornTails++
+	return nil
+}
+
 // startSegment creates segment seq with its header and makes it the
 // active one. The containing directory is fsynced too: without that, a
 // power loss can erase the directory entry of a freshly created segment
@@ -238,11 +337,11 @@ func openStore(dir string) (*Store, error) {
 // fsync-before-ack contract rules out.
 func (s *Store) startSegment(seq int) error {
 	path := segmentPath(s.dir, seq)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := s.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: creating segment %s: %w", path, err)
 	}
-	if _, err := f.WriteString(segmentMagic); err != nil {
+	if _, err := io.WriteString(f, segmentMagic); err != nil {
 		f.Close()
 		return fmt.Errorf("persist: writing %s header: %w", path, err)
 	}
@@ -250,7 +349,7 @@ func (s *Store) startSegment(seq int) error {
 		f.Close()
 		return fmt.Errorf("persist: syncing %s header: %w", path, err)
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := s.syncDir(s.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -260,36 +359,40 @@ func (s *Store) startSegment(seq int) error {
 
 // syncDir fsyncs a directory so entries created or renamed into it
 // survive a power loss.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("persist: opening %s for sync: %w", dir, err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func (s *Store) syncDir(dir string) error {
+	if err := s.fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("persist: syncing directory %s: %w", dir, err)
 	}
 	return nil
 }
 
-// replaySegment re-applies every journaled batch of one segment file.
-// Structural damage — a bad header, a truncated record, a checksum
-// mismatch — is an error: the log is the durable corpus, and resolving
-// against a silently shortened one would violate the append-only
-// contract.
-func (s *Store) replaySegment(path string) error {
-	f, err := os.Open(path)
+// replaySegment re-applies every journaled batch of one segment file and
+// classifies damage. On the newest segment, a final record cut short or
+// checksum-broken with nothing after it is a torn tail — the legitimate
+// remains of a crash mid-append, never acknowledged — reported through
+// the tornAt offset (≥ 0, the end of the last good record) for the caller
+// to truncate. Everything else — interior damage, damage on an older
+// segment, a bad header — is an error: the log is the durable corpus, and
+// resolving against a silently shortened one would violate the
+// append-only contract.
+func (s *Store) replaySegment(path string, newest bool) (tornAt int64, err error) {
+	f, err := s.fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
-		return fmt.Errorf("persist: opening segment %s: %w", path, err)
+		return -1, fmt.Errorf("persist: opening segment %s: %w", path, err)
 	}
 	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return -1, fmt.Errorf("persist: sizing segment %s: %w", path, err)
+	}
+	size := info.Size()
 
 	header := make([]byte, len(segmentMagic))
 	if _, err := io.ReadFull(f, header); err != nil {
-		return fmt.Errorf("persist: segment %s: truncated header: %w", path, err)
+		return -1, fmt.Errorf("persist: segment %s: truncated header: %w", path, err)
 	}
 	if string(header) != segmentMagic {
-		return fmt.Errorf("persist: segment %s: bad magic %q (foreign file or unsupported segment version)",
+		return -1, fmt.Errorf("persist: segment %s: bad magic %q (foreign file or unsupported segment version)",
 			path, header)
 	}
 
@@ -298,32 +401,59 @@ func (s *Store) replaySegment(path string) error {
 	for {
 		if _, err := io.ReadFull(f, frame[:]); err != nil {
 			if err == io.EOF {
-				return nil // clean record boundary
+				return -1, nil // clean record boundary
 			}
-			return fmt.Errorf("persist: segment %s: truncated record frame at offset %d: %w", path, offset, err)
+			// A partial frame necessarily runs to EOF: torn tail on the
+			// newest segment, corruption anywhere else.
+			if newest {
+				return offset, nil
+			}
+			return -1, fmt.Errorf("persist: segment %s: truncated record frame at offset %d: %w", path, offset, err)
 		}
 		length := binary.LittleEndian.Uint32(frame[0:4])
 		sum := binary.LittleEndian.Uint32(frame[4:8])
+		end := offset + 8 + int64(length)
+		if end > size {
+			// The declared payload runs past EOF — either a torn write
+			// (payload cut short) or a corrupt length field; in both
+			// cases nothing can follow it, so on the newest segment it is
+			// recoverable. Checked before allocating so a corrupt length
+			// cannot drive a huge allocation either way.
+			if newest {
+				return offset, nil
+			}
+			return -1, fmt.Errorf("persist: segment %s: record at offset %d runs past end of file (declares %d bytes)",
+				path, offset, length)
+		}
 		if length > maxRecordBytes {
-			return fmt.Errorf("persist: segment %s: record at offset %d declares %d bytes (corrupt length)",
+			return -1, fmt.Errorf("persist: segment %s: record at offset %d declares %d bytes (corrupt length)",
 				path, offset, length)
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return fmt.Errorf("persist: segment %s: truncated record payload at offset %d: %w", path, offset, err)
+			return -1, fmt.Errorf("persist: segment %s: truncated record payload at offset %d: %w", path, offset, err)
 		}
 		if got := crc32.Checksum(payload, segmentCRC); got != sum {
-			return fmt.Errorf("persist: segment %s: record at offset %d: checksum %08x, frame declares %08x",
+			// A checksum-broken FINAL record is a torn write whose middle
+			// never hit the platter; one with records after it is interior
+			// corruption — those later records were acknowledged, so
+			// truncating here would lose acked data.
+			if newest && end == size {
+				return offset, nil
+			}
+			return -1, fmt.Errorf("persist: segment %s: record at offset %d: checksum %08x, frame declares %08x",
 				path, offset, got, sum)
 		}
 		var batch []*corpus.Collection
 		if err := json.Unmarshal(payload, &batch); err != nil {
-			return fmt.Errorf("persist: segment %s: record at offset %d: %w", path, offset, err)
+			// The checksum matched, so these are the bytes the writer
+			// wrote — not a torn write. Never recoverable.
+			return -1, fmt.Errorf("persist: segment %s: record at offset %d: %w", path, offset, err)
 		}
 		if _, err := s.mem.Append(batch); err != nil {
-			return fmt.Errorf("persist: segment %s: replaying record at offset %d: %w", path, offset, err)
+			return -1, fmt.Errorf("persist: segment %s: replaying record at offset %d: %w", path, offset, err)
 		}
-		offset += 8 + int64(length)
+		offset = end
 	}
 }
 
@@ -369,7 +499,8 @@ func (s *Store) Append(cols []*corpus.Collection) (int, error) {
 	if _, err := s.seg.Write(record); err != nil {
 		// The journal may now hold a torn record. The batch was NOT
 		// merged, so the live store still matches the replayable prefix
-		// of the log; poisoning the store keeps it that way.
+		// of the log; poisoning the store keeps it that way, and the
+		// next open truncates the torn tail.
 		s.failed = err
 		return 0, fmt.Errorf("persist: journaling batch: %w", err)
 	}

@@ -186,9 +186,11 @@ func corruptNewestSegment(t *testing.T, dir string, mutate func([]byte) []byte) 
 	}
 }
 
-// TestOpenRejectsDamagedSegments pins the crash paths: a truncated
-// segment, a checksum mismatch and a foreign/mis-versioned header must
-// all fail Open with a clear error instead of replaying damaged state.
+// TestOpenRejectsDamagedSegments pins the hard-fail paths: interior
+// corruption (damage not confined to the newest segment's tail) and a
+// foreign/mis-versioned header must fail Open with a clear error instead
+// of replaying damaged state. Tail damage on the newest segment is the
+// torn-write recovery case, tested in TestOpenRecoversTornTail.
 func TestOpenRejectsDamagedSegments(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -199,8 +201,13 @@ func TestOpenRejectsDamagedSegments(t *testing.T) {
 		// the aborted-rotation recovery case, tested separately).
 		interior bool
 	}{
-		{"truncated record", func(b []byte) []byte { return b[:len(b)-7] }, "truncated record", false},
-		{"checksum mismatch", func(b []byte) []byte { b[len(b)-3] ^= 0x20; return b }, "checksum", false},
+		{"truncated record on interior segment", func(b []byte) []byte { return b[:len(b)-7] }, "runs past end of file", true},
+		{"checksum mismatch on interior segment", func(b []byte) []byte { b[len(b)-3] ^= 0x20; return b }, "checksum", true},
+		// Damage inside the first record of the newest segment: the bad
+		// record does not reach EOF, so this is interior corruption even
+		// though the file is the newest — truncating would discard the
+		// acknowledged records behind it.
+		{"checksum mismatch before the tail", func(b []byte) []byte { b[20] ^= 0x20; return b }, "checksum", false},
 		{"foreign header", func(b []byte) []byte { copy(b, "NOTSEG00"); return b }, "bad magic", false},
 		{"future segment version", func(b []byte) []byte { copy(b, "ERSEG002"); return b }, "bad magic", false},
 		{"truncated header on interior segment", func(b []byte) []byte { return b[:4] }, "truncated header", true},
@@ -229,6 +236,91 @@ func TestOpenRejectsDamagedSegments(t *testing.T) {
 			}
 			if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
 				t.Fatalf("Open err = %v, want mention of %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestOpenRecoversTornTail pins the torn-write recovery rule: damage
+// confined to the final record of the newest segment — the bytes of a
+// write that was never acknowledged — is healed by truncating to the
+// last good offset, and the store continues from the surviving records.
+func TestOpenRecoversTornTail(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		// A write cut off mid-record: the final frame or payload simply
+		// stops short of the declared length.
+		{"partial final record", func(b []byte) []byte { return b[:len(b)-7] }},
+		// A write that landed all its bytes but scrambled: the final
+		// record ends exactly at EOF with a failing checksum.
+		{"scrambled final record", func(b []byte) []byte { b[len(b)-3] ^= 0x20; return b }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			data, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batches := testBatches(t)
+			mem := store.NewMemStore()
+			for _, batch := range batches {
+				if _, err := data.Store.Append(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The reference store holds every batch except the last — the
+			// one whose record the "crash" tore.
+			for _, batch := range batches[:len(batches)-1] {
+				if _, err := mem.Append(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := data.Close(); err != nil {
+				t.Fatal(err)
+			}
+			corruptNewestSegment(t, dir, tc.mutate)
+
+			reopened, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open after tail damage = %v, want torn-tail recovery", err)
+			}
+			if got := reopened.Store.TornTailRecoveries(); got != 1 {
+				t.Errorf("TornTailRecoveries = %d, want 1", got)
+			}
+			gotJSON, gotVersion := storeJSON(t, reopened.Store)
+			wantJSON, wantVersion := storeJSON(t, mem)
+			if !bytes.Equal(gotJSON, wantJSON) || gotVersion != wantVersion {
+				t.Fatal("recovered store does not equal the reference without the torn batch")
+			}
+			// The truncated log must accept appends again: re-ingesting the
+			// torn batch lands it cleanly after the surviving records.
+			if _, err := reopened.Store.Append(batches[len(batches)-1]); err != nil {
+				t.Fatalf("append after torn-tail recovery: %v", err)
+			}
+			if _, err := mem.Append(batches[len(batches)-1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := reopened.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// A second open replays clean — the truncation was durable, no
+			// further recovery fires — and sees the full corpus.
+			again, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer again.Close()
+			if got := again.Store.TornTailRecoveries(); got != 0 {
+				t.Errorf("second open TornTailRecoveries = %d, want 0", got)
+			}
+			gotJSON, gotVersion = storeJSON(t, again.Store)
+			wantJSON, wantVersion = storeJSON(t, mem)
+			if !bytes.Equal(gotJSON, wantJSON) || gotVersion != wantVersion {
+				t.Fatal("store after recovery and re-append does not equal the reference")
 			}
 		})
 	}

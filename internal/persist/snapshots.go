@@ -10,8 +10,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/pipeline"
 )
 
@@ -36,16 +38,23 @@ const defaultMaxSnapshotFiles = 64
 // configuration key. Saves are atomic (temp file + rename), so a crash
 // mid-save leaves the previous snapshot intact; the configuration key is
 // recorded inside the file and verified on load, so a hash collision or a
-// misplaced file is detected instead of resolving with foreign state.
-// Concurrent saves need no lock: each Save writes a unique temp file and
-// publishes it with an atomic rename, and the service layer already
-// serializes runs (and therefore saves) of the same configuration.
+// misplaced file is detected instead of resolving with foreign state. A
+// file that fails its load checks is quarantined — renamed *.corrupt — so
+// the caller's rebuild from the journaled corpus replaces it rather than
+// re-hitting the same damage on every restart. Concurrent saves need no
+// lock: each Save writes a unique temp file and publishes it with an
+// atomic rename, and the service layer already serializes runs (and
+// therefore saves) of the same configuration.
 type SnapshotDir struct {
-	dir string
+	dir  string
+	fsys faultfs.FS
+	logf func(format string, args ...any)
 	// MaxFiles bounds the number of .snap files kept; after each save the
 	// oldest files beyond the cap are pruned (best effort). Values < 1
 	// select defaultMaxSnapshotFiles.
 	MaxFiles int
+	// quarantined counts the damaged files Load renamed aside.
+	quarantined atomic.Int64
 }
 
 // NewSnapshotDir returns a snapshot directory rooted at dir, creating it
@@ -54,21 +63,55 @@ type SnapshotDir struct {
 // automatically; this constructor exists for callers embedding the
 // snapshot store without the segment log.
 func NewSnapshotDir(dir string) (*SnapshotDir, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return newSnapshotDir(dir, Options{}.withDefaults())
+}
+
+func newSnapshotDir(dir string, opts Options) (*SnapshotDir, error) {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: creating %s: %w", dir, err)
 	}
-	if orphans, err := filepath.Glob(filepath.Join(dir, ".snap-*")); err == nil {
-		for _, name := range orphans {
-			_ = os.Remove(name)
+	sweepOrphans(opts.FS, dir, ".snap-*")
+	return &SnapshotDir{dir: dir, fsys: opts.FS, logf: opts.Log}, nil
+}
+
+// sweepOrphans removes the temp files a crash mid-save leaves behind:
+// current saves suffix their temp files .tmp, and the legacy prefix
+// pattern is swept too so directories written by older builds come clean.
+// Best effort — an orphan is wasted bytes, never a correctness risk.
+func sweepOrphans(fsys faultfs.FS, dir, legacyPattern string) {
+	for _, pattern := range []string{"*.tmp", legacyPattern} {
+		names, err := fsys.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			continue
+		}
+		for _, name := range names {
+			_ = fsys.Remove(name)
 		}
 	}
-	return &SnapshotDir{dir: dir}, nil
 }
 
 // path names the snapshot file of one configuration key.
 func (d *SnapshotDir) path(key string) string {
 	sum := sha256.Sum256([]byte(key))
 	return filepath.Join(d.dir, hex.EncodeToString(sum[:12])+".snap")
+}
+
+// Quarantined reports how many damaged snapshot files this directory has
+// renamed aside since it was opened.
+func (d *SnapshotDir) Quarantined() int64 { return d.quarantined.Load() }
+
+// quarantine renames a damaged file to NAME.corrupt (replacing any
+// earlier quarantine of the same file, so damage cannot accumulate
+// unbounded copies) and logs why. Best effort: if even the rename fails,
+// the caller's typed error still tells the service to rebuild.
+func quarantine(counter *atomic.Int64, fsys faultfs.FS, logf func(string, ...any), path string, reason error) {
+	dst := path + ".corrupt"
+	if err := fsys.Rename(path, dst); err != nil {
+		logf("persist: quarantining %s: %v", path, err)
+		return
+	}
+	counter.Add(1)
+	logf("persist: quarantined %s -> %s (%v); it will be rebuilt from the journaled corpus", path, dst, reason)
 }
 
 // Save atomically writes the snapshot for one configuration key. The
@@ -80,11 +123,11 @@ func (d *SnapshotDir) Save(key string, snap *pipeline.Snapshot) error {
 	if len(key) > maxSnapshotKeyBytes {
 		return fmt.Errorf("persist: snapshot key is %d bytes, cap is %d", len(key), maxSnapshotKeyBytes)
 	}
-	tmp, err := os.CreateTemp(d.dir, ".snap-*")
+	tmp, err := d.fsys.CreateTemp(d.dir, ".snap-*.tmp")
 	if err != nil {
 		return fmt.Errorf("persist: creating snapshot temp file: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer d.fsys.Remove(tmp.Name()) // no-op after a successful rename
 
 	var envelope bytes.Buffer
 	envelope.WriteString(snapFileMagic)
@@ -107,13 +150,13 @@ func (d *SnapshotDir) Save(key string, snap *pipeline.Snapshot) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("persist: closing snapshot temp file: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+	if err := d.fsys.Rename(tmp.Name(), d.path(key)); err != nil {
 		return fmt.Errorf("persist: publishing snapshot: %w", err)
 	}
 	// Sync the directory so the rename itself survives a crash; a save
 	// whose durability is not established must not report success.
-	if err := syncDir(d.dir); err != nil {
-		return err
+	if err := d.fsys.SyncDir(d.dir); err != nil {
+		return fmt.Errorf("persist: syncing directory %s: %w", d.dir, err)
 	}
 	d.prune()
 	return nil
@@ -126,7 +169,7 @@ func (d *SnapshotDir) Save(key string, snap *pipeline.Snapshot) error {
 // the caller to do a full Save instead.
 func (d *SnapshotDir) Touch(key string) error {
 	now := time.Now()
-	if err := os.Chtimes(d.path(key), now, now); err != nil {
+	if err := d.fsys.Chtimes(d.path(key), now, now); err != nil {
 		return fmt.Errorf("persist: refreshing snapshot recency: %w", err)
 	}
 	return nil
@@ -139,7 +182,12 @@ func (d *SnapshotDir) prune() {
 	if limit < 1 {
 		limit = defaultMaxSnapshotFiles
 	}
-	names, err := filepath.Glob(filepath.Join(d.dir, "*.snap"))
+	pruneOldest(d.fsys, filepath.Join(d.dir, "*.snap"), limit)
+}
+
+// pruneOldest removes the oldest files matching pattern beyond limit.
+func pruneOldest(fsys faultfs.FS, pattern string, limit int) {
+	names, err := fsys.Glob(pattern)
 	if err != nil || len(names) <= limit {
 		return
 	}
@@ -149,7 +197,7 @@ func (d *SnapshotDir) prune() {
 	}
 	files := make([]aged, 0, len(names))
 	for _, name := range names {
-		info, err := os.Stat(name)
+		info, err := fsys.Stat(name)
 		if err != nil {
 			continue
 		}
@@ -157,7 +205,7 @@ func (d *SnapshotDir) prune() {
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
 	for i := 0; i+limit < len(files); i++ {
-		_ = os.Remove(files[i].name)
+		_ = fsys.Remove(files[i].name)
 	}
 }
 
@@ -165,10 +213,13 @@ func (d *SnapshotDir) prune() {
 // must be configured identically to the pipeline that produced it — the
 // key is the caller's encoding of that configuration). A missing file
 // returns (nil, nil): no snapshot is not an error. A present-but-damaged
-// file returns the codec's typed error so the caller can distinguish
-// version skew (pipeline.ErrSnapshotVersion) from corruption.
+// file is quarantined (renamed *.corrupt) and returns the codec's typed
+// error so the caller can distinguish version skew
+// (pipeline.ErrSnapshotVersion) from corruption — and rebuild either way,
+// knowing the next Save starts clean.
 func (d *SnapshotDir) Load(key string, pl *pipeline.Pipeline) (*pipeline.Snapshot, error) {
-	f, err := os.Open(d.path(key))
+	path := d.path(key)
+	f, err := d.fsys.OpenFile(path, os.O_RDONLY, 0)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -177,29 +228,33 @@ func (d *SnapshotDir) Load(key string, pl *pipeline.Pipeline) (*pipeline.Snapsho
 	}
 	defer f.Close()
 
+	damaged := func(err error) error {
+		quarantine(&d.quarantined, d.fsys, d.logf, path, err)
+		return err
+	}
 	header := make([]byte, len(snapFileMagic)+4)
 	if _, err := io.ReadFull(f, header); err != nil {
-		return nil, fmt.Errorf("persist: snapshot %s: truncated envelope: %w", d.path(key), err)
+		return nil, damaged(fmt.Errorf("persist: snapshot %s: truncated envelope: %w", path, err))
 	}
 	if string(header[:len(snapFileMagic)]) != snapFileMagic {
-		return nil, fmt.Errorf("persist: snapshot %s: bad magic %q (foreign file or unsupported envelope version)",
-			d.path(key), header[:len(snapFileMagic)])
+		return nil, damaged(fmt.Errorf("persist: snapshot %s: bad magic %q (foreign file or unsupported envelope version)",
+			path, header[:len(snapFileMagic)]))
 	}
 	klen := binary.LittleEndian.Uint32(header[len(snapFileMagic):])
 	if klen > maxSnapshotKeyBytes {
-		return nil, fmt.Errorf("persist: snapshot %s: key length %d is corrupt", d.path(key), klen)
+		return nil, damaged(fmt.Errorf("persist: snapshot %s: key length %d is corrupt", path, klen))
 	}
 	gotKey := make([]byte, klen)
 	if _, err := io.ReadFull(f, gotKey); err != nil {
-		return nil, fmt.Errorf("persist: snapshot %s: truncated key: %w", d.path(key), err)
+		return nil, damaged(fmt.Errorf("persist: snapshot %s: truncated key: %w", path, err))
 	}
 	if string(gotKey) != key {
-		return nil, fmt.Errorf("persist: snapshot %s was saved for configuration %q, not %q",
-			d.path(key), gotKey, key)
+		return nil, damaged(fmt.Errorf("persist: snapshot %s was saved for configuration %q, not %q",
+			path, gotKey, key))
 	}
 	snap, err := pl.DecodeSnapshot(f)
 	if err != nil {
-		return nil, fmt.Errorf("persist: snapshot %s: %w", d.path(key), err)
+		return nil, damaged(fmt.Errorf("persist: snapshot %s: %w", path, err))
 	}
 	return snap, nil
 }

@@ -1,0 +1,290 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blockindex"
+	"repro/internal/corpus"
+	"repro/internal/store"
+)
+
+// TestReadyzEndpoint pins readiness: a constructed server (store open,
+// replay done by definition) answers 200 on /readyz.
+func TestReadyzEndpoint(t *testing.T) {
+	ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz status = %d, want 200", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ready" {
+		t.Fatalf("/readyz body = %v", body)
+	}
+}
+
+// TestPanicRecoveryMiddleware pins the outermost middleware: a panicking
+// handler answers a JSON 500, the panic is counted, and /v1/stats
+// surfaces it. The panicking route is injected behind the same middleware
+// the real mux uses.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	var logged []string
+	srv := New(Config{ErrorLog: func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	boom := srv.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	ts := httptest.NewServer(boom)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/explode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var envelope errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatalf("500 body is not the JSON error envelope: %v", err)
+	}
+	if got := srv.counters.panics.Load(); got != 1 {
+		t.Errorf("panics counter = %d, want 1", got)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "kaboom") {
+		t.Errorf("panic log = %q, want the panic value", logged)
+	}
+	if d := srv.degradedStats(); d.Panics != 1 {
+		t.Errorf("degraded stats panics = %d, want 1", d.Panics)
+	}
+}
+
+// TestIngestBackpressure429 pins the backpressure contract: when the job
+// backlog is full, POST /v1/collections answers 429 with a Retry-After
+// hint (not 503 — the condition clears by itself), and the throttle is
+// counted in the degradation stats.
+func TestIngestBackpressure429(t *testing.T) {
+	srv := New(Config{QueueBuffer: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Wedge the single worker on a job we control, then fill the one
+	// buffered slot, so the next enqueue is rejected as backlog-full.
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	if _, err := srv.jobs.Enqueue("block", func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := srv.jobs.Enqueue("fill", func(context.Context) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	col := testCollection(t, 4)
+	buf, err := json.Marshal(CollectionsRequest{Collections: []*corpus.Collection{col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/collections", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 reply carries no Retry-After header")
+	}
+	var envelope errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatalf("429 body is not the JSON error envelope: %v", err)
+	}
+	if d := srv.degradedStats(); d.IngestThrottled != 1 {
+		t.Errorf("ingest_throttled = %d, want 1", d.IngestThrottled)
+	}
+}
+
+// failingIndexStore fails every save until healed, loading nothing.
+type failingIndexStore struct {
+	saves int
+	fail  bool
+}
+
+func (f *failingIndexStore) LoadIndex(string, blockindex.Config) (*blockindex.Index, error) {
+	return nil, nil
+}
+
+func (f *failingIndexStore) SaveIndex(string, *blockindex.Index) (uint64, error) {
+	f.saves++
+	if f.fail {
+		return 0, errors.New("disk on fire")
+	}
+	return 1, nil
+}
+
+// TestIndexSaveBackoff pins the capped-backoff retry: while a save is
+// failing and the backoff window is open, persistIndex does not re-hit
+// the store; once the window passes it retries; Close forces a final
+// attempt regardless.
+func TestIndexSaveBackoff(t *testing.T) {
+	oldBase, oldCap := indexSaveBackoffBase, indexSaveBackoffCap
+	indexSaveBackoffBase, indexSaveBackoffCap = 50*time.Millisecond, 200*time.Millisecond
+	defer func() { indexSaveBackoffBase, indexSaveBackoffCap = oldBase, oldCap }()
+
+	idxStore := &failingIndexStore{fail: true}
+	srv := New(Config{Indexes: idxStore, Store: store.NewMemStore()})
+	closed := false
+	t.Cleanup(func() {
+		if !closed {
+			srv.Close(context.Background())
+		}
+	})
+	if _, err := srv.store.Append([]*corpus.Collection{testCollection(t, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	// Materialize a real index entry through the public path.
+	_, entry, err := srv.blockerFor(resolveKnobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib := entry.blocker.Load()
+	cols, _ := srv.store.Snapshot()
+	if _, err := ib.Warm(cols); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.persistIndex(entry, false) // fails, opens the backoff window
+	srv.persistIndex(entry, false) // suppressed: window still open
+	if idxStore.saves != 1 {
+		t.Fatalf("saves during backoff window = %d, want 1", idxStore.saves)
+	}
+	if got := srv.counters.indexSaveFailures.Load(); got != 1 {
+		t.Errorf("index_save_failures = %d, want 1", got)
+	}
+	time.Sleep(60 * time.Millisecond) // past the first 50ms window
+	srv.persistIndex(entry, false)    // retried: window expired
+	if idxStore.saves != 2 {
+		t.Fatalf("saves after window expiry = %d, want 2", idxStore.saves)
+	}
+
+	// Heal the store; Close must force a save straight through the (now
+	// doubled) backoff window and succeed.
+	idxStore.fail = false
+	closed = true
+	if err := srv.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if idxStore.saves != 3 {
+		t.Fatalf("saves after forced Close = %d, want 3", idxStore.saves)
+	}
+	entry.mu.Lock()
+	saved := entry.savedVersion
+	entry.mu.Unlock()
+	if saved == 0 {
+		t.Error("successful forced save did not record the saved version")
+	}
+}
+
+// TestIngestJobFailureIsStructured pins the job-failure surface: an
+// ingest job that hits a read-only (journal-poisoned) store fails with
+// kind "permanent", one attempt, and the structured message in GET
+// /v1/jobs/{id}.
+func TestIngestJobFailureIsStructured(t *testing.T) {
+	srv := New(Config{Store: readOnlyStore{store.NewMemStore()}})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	col := testCollection(t, 4)
+	buf, err := json.Marshal(CollectionsRequest{Collections: []*corpus.Collection{col}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/collections", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status = %d, want 202", resp.StatusCode)
+	}
+	var ack CollectionsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jr, err := http.Get(ts.URL + ack.StatusURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job store.Job
+		if err := json.NewDecoder(jr.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		jr.Body.Close()
+		if job.Status == store.JobFailed {
+			if job.Failure == nil || job.Failure.Kind != "permanent" {
+				t.Fatalf("failure = %+v, want kind permanent", job.Failure)
+			}
+			if job.Attempts != 1 {
+				t.Errorf("attempts = %d, want 1 (permanent failures must not retry)", job.Attempts)
+			}
+			if !strings.Contains(job.Failure.Message, "read-only") || !strings.Contains(job.Error, "read-only") {
+				t.Errorf("failure message %q / error %q do not carry the cause", job.Failure.Message, job.Error)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingest job never failed; last state %+v", job)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// readOnlyStore models a store whose journal has faulted: every append is
+// rejected deterministically.
+type readOnlyStore struct {
+	store.DocumentStore
+}
+
+func (readOnlyStore) Append([]*corpus.Collection) (int, error) {
+	return 0, errors.New("store: store is read-only after a journal failure")
+}

@@ -144,6 +144,14 @@ type counters struct {
 	runs, blocks, reused, prepared, trivial atomic.Int64
 	deltaDocs, dirtyBlocks                  atomic.Int64
 	ingestBatches                           atomic.Int64
+	// Degradation counters: every event where the server kept serving by
+	// giving something up — a panicking handler answered 500, ingest was
+	// throttled, persisted state failed to load (rebuilt from the corpus)
+	// or save (retried later). Surfaced by /v1/stats so operators see
+	// silent degradation before it becomes an outage.
+	panics, ingestThrottled                    atomic.Int64
+	snapshotLoadFailures, snapshotSaveFailures atomic.Int64
+	indexLoadFailures, indexSaveFailures       atomic.Int64
 }
 
 // indexEntry is one shared blocking index plus its persistence
@@ -157,10 +165,23 @@ type indexEntry struct {
 	init    sync.Once
 	blocker atomic.Pointer[pipeline.IndexBlocker]
 	// mu serializes saves; savedVersion is the index version the persisted
-	// form reflects (0 when never saved). Guarded by mu.
+	// form reflects (0 when never saved). saveFailures and nextSave
+	// implement capped exponential backoff on failing saves, so a broken
+	// index store is retried occasionally instead of hammered by every
+	// warm round. All guarded by mu.
 	mu           sync.Mutex
 	savedVersion uint64
+	saveFailures int
+	nextSave     time.Time
 }
+
+// indexSaveBackoffBase is the delay before retrying a failed index save,
+// doubled per consecutive failure up to indexSaveBackoffCap. Variables so
+// tests can shrink them.
+var (
+	indexSaveBackoffBase = time.Second
+	indexSaveBackoffCap  = time.Minute
+)
 
 type incrementalState struct {
 	mu   sync.Mutex
@@ -289,7 +310,7 @@ func (s *Server) persistIndexIfGrown(e *indexEntry) {
 	grown := ib.Index().Version() >= e.savedVersion+warmSaveDeltaDocs
 	e.mu.Unlock()
 	if grown {
-		s.persistIndex(e)
+		s.persistIndex(e, false)
 	}
 }
 
@@ -317,7 +338,7 @@ func (s *Server) Close(ctx context.Context) error {
 		<-s.warmDone
 	}
 	for _, e := range s.indexEntries() {
-		s.persistIndex(e)
+		s.persistIndex(e, true)
 	}
 	return err
 }
@@ -330,6 +351,12 @@ func (s *Server) Close(ctx context.Context) error {
 //	POST /v1/resolve/incremental  resolve the store, reusing clean blocks
 //	GET  /v1/stats                per-stage counters and index shapes
 //	GET  /healthz                 liveness plus store stats
+//	GET  /readyz                  readiness (the server exists ⇒ replay done)
+//
+// Every route runs behind the panic-recovery middleware: a panicking
+// handler answers a JSON 500 and increments the degraded.panics counter
+// instead of killing the connection (and, under http.Serve semantics,
+// losing the response entirely).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/resolve", s.handleResolve)
@@ -340,7 +367,59 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "store": s.store.Stats()})
 	})
-	return mux
+	// A Server is constructed only after its store is open — journal
+	// replayed, snapshot/index directories swept — so readiness is the
+	// handler's existence. The serve command keeps a bootstrap handler
+	// answering 503 on this path until construction finishes.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	})
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics is the outermost middleware: a panic in any handler is
+// logged with its route, counted, and answered as a JSON 500 — unless the
+// handler already wrote a header, in which case the response is beyond
+// repair and the connection is left to die. http.ErrAbortHandler passes
+// through untouched: it is the stdlib's own mechanism for abandoning a
+// response on a gone client, not a server defect.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		wrote := &headerTracker{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.counters.panics.Add(1)
+			s.cfg.ErrorLog("service: panic handling %s %s: %v", r.Method, r.URL.Path, v)
+			if !wrote.wroteHeader {
+				writeJSON(wrote, http.StatusInternalServerError,
+					errorResponse{Error: "internal error; the failure was logged server-side"})
+			}
+		}()
+		next.ServeHTTP(wrote, r)
+	})
+}
+
+// headerTracker records whether a handler committed its response header,
+// which decides whether the panic middleware can still answer JSON.
+type headerTracker struct {
+	http.ResponseWriter
+	wroteHeader bool
+}
+
+func (t *headerTracker) WriteHeader(code int) {
+	t.wroteHeader = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *headerTracker) Write(p []byte) (int, error) {
+	t.wroteHeader = true
+	return t.ResponseWriter.Write(p)
 }
 
 // resolveKnobs are the resolution parameters shared by the one-shot and
@@ -634,11 +713,23 @@ func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobs.Enqueue("ingest", func(context.Context) (any, error) {
 		added, err := s.store.Append(req.Collections)
 		if err != nil {
-			return nil, err
+			// Append failures are deterministic — the batch was validated
+			// up front, so what remains is a store gone read-only after a
+			// journal fault. Retrying the same append cannot help; mark it
+			// permanent so the job fails once with the real error.
+			return nil, store.Permanent(err)
 		}
 		return IngestResult{DocsAdded: added, Store: s.store.Stats()}, nil
 	})
-	if err != nil {
+	switch {
+	case errors.Is(err, store.ErrQueueFull):
+		// Backpressure, not failure: the backlog drains at ingest speed, so
+		// tell the client when to come back instead of making it guess.
+		s.counters.ingestThrottled.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		return
 	}
@@ -725,6 +816,7 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 		state.loadTried = true
 		loaded, err := s.cfg.Snapshots.Load(state.key, pl)
 		if err != nil {
+			s.counters.snapshotLoadFailures.Add(1)
 			s.cfg.ErrorLog("service: loading snapshot for %q: %v", state.key, err)
 		} else {
 			prev = loaded
@@ -750,7 +842,7 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 		return
 	}
 	state.snap = inc.Snapshot
-	s.persistIndex(indexEntry)
+	s.persistIndex(indexEntry, false)
 	s.counters.runs.Add(1)
 	s.counters.blocks.Add(int64(inc.Stats.Blocks))
 	s.counters.reused.Add(int64(inc.Stats.Reused))
@@ -781,6 +873,7 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 			err := s.cfg.Snapshots.Save(state.key, inc.Snapshot)
 			state.stored = err == nil
 			if err != nil {
+				s.counters.snapshotSaveFailures.Add(1)
 				s.cfg.ErrorLog("service: saving snapshot for %q: %v", state.key, err)
 			}
 		}
@@ -904,6 +997,7 @@ func (s *Server) blockerFor(k resolveKnobs) (pipeline.Blocker, *indexEntry, erro
 			cfg := blockindex.Config{Scheme: keyed, Keys: blockindex.KeyFunc(keyFn), Shards: s.cfg.BlockShards}
 			idx, err := s.cfg.Indexes.LoadIndex(key, cfg)
 			if err != nil {
+				s.counters.indexLoadFailures.Add(1)
 				s.cfg.ErrorLog("service: loading blocking index for %q: %v", key, err)
 			} else if idx != nil {
 				e.savedVersion = idx.Version()
@@ -929,8 +1023,11 @@ func (s *Server) blockerFor(k resolveKnobs) (pipeline.Blocker, *indexEntry, erro
 
 // persistIndex saves the entry's index if it advanced past the persisted
 // version. Serialized per entry; a failure costs only the restart
-// head-start and is logged.
-func (s *Server) persistIndex(e *indexEntry) {
+// head-start and is logged. Consecutive failures back off exponentially
+// (capped), so a broken index store is probed occasionally rather than
+// hammered by every warm round; force — used by Close, the last chance
+// before the process exits — attempts the save regardless of backoff.
+func (s *Server) persistIndex(e *indexEntry, force bool) {
 	if e == nil || s.cfg.Indexes == nil {
 		return
 	}
@@ -943,11 +1040,23 @@ func (s *Server) persistIndex(e *indexEntry) {
 	if ib.Index().Version() == e.savedVersion {
 		return
 	}
-	version, err := s.cfg.Indexes.SaveIndex(e.key, ib.Index())
-	if err != nil {
-		s.cfg.ErrorLog("service: saving blocking index for %q: %v", e.key, err)
+	if !force && e.saveFailures > 0 && time.Now().Before(e.nextSave) {
 		return
 	}
+	version, err := s.cfg.Indexes.SaveIndex(e.key, ib.Index())
+	if err != nil {
+		s.counters.indexSaveFailures.Add(1)
+		e.saveFailures++
+		delay := indexSaveBackoffBase << (e.saveFailures - 1)
+		if delay > indexSaveBackoffCap || delay <= 0 {
+			delay = indexSaveBackoffCap
+		}
+		e.nextSave = time.Now().Add(delay)
+		s.cfg.ErrorLog("service: saving blocking index for %q (failure %d, next retry in %v): %v",
+			e.key, e.saveFailures, delay, err)
+		return
+	}
+	e.saveFailures = 0
 	e.savedVersion = version
 }
 
@@ -1016,6 +1125,68 @@ type StatsResponse struct {
 	// SnapshotStates is the number of resolution configurations holding an
 	// incremental snapshot.
 	SnapshotStates int `json:"snapshot_states"`
+	// Degraded aggregates every event where the server kept serving by
+	// giving something up — recovered torn journal tails, quarantined
+	// snapshot/index files, failed loads and saves, recovered panics,
+	// throttled ingest. All-zero is the healthy steady state.
+	Degraded DegradedStats `json:"degraded"`
+}
+
+// DegradedStats counts degradation events across the server's lifetime,
+// except TornTailRecoveries and the Quarantined pair, which report the
+// backing store's own counters (recovery happens at open; quarantine at
+// load).
+type DegradedStats struct {
+	// TornTailRecoveries is how many journal segments were healed by
+	// truncating a torn final record when the store was opened.
+	TornTailRecoveries int `json:"torn_tail_recoveries"`
+	// QuarantinedSnapshots / QuarantinedIndexes count damaged persisted
+	// files renamed aside (*.corrupt) and rebuilt from the corpus.
+	QuarantinedSnapshots int64 `json:"quarantined_snapshots"`
+	QuarantinedIndexes   int64 `json:"quarantined_indexes"`
+	// Load failures degrade a run to a full rebuild; save failures cost
+	// the restart head-start and are retried (index saves with capped
+	// exponential backoff).
+	SnapshotLoadFailures int64 `json:"snapshot_load_failures"`
+	SnapshotSaveFailures int64 `json:"snapshot_save_failures"`
+	IndexLoadFailures    int64 `json:"index_load_failures"`
+	IndexSaveFailures    int64 `json:"index_save_failures"`
+	// Panics is how many handler panics the recovery middleware answered
+	// as JSON 500s.
+	Panics int64 `json:"panics"`
+	// IngestThrottled is how many POST /v1/collections requests were
+	// answered 429 because the job backlog was full.
+	IngestThrottled int64 `json:"ingest_throttled"`
+}
+
+// tornTailReporter is implemented by stores that recover torn journal
+// tails (persist.Store); quarantineReporter by snapshot/index stores that
+// rename damaged files aside (persist.SnapshotDir, persist.IndexDir).
+// Both are optional: in-memory backends report zero.
+type tornTailReporter interface{ TornTailRecoveries() int }
+type quarantineReporter interface{ Quarantined() int64 }
+
+// degradedStats assembles the degradation report from the server's own
+// counters plus whatever the backing stores expose.
+func (s *Server) degradedStats() DegradedStats {
+	d := DegradedStats{
+		SnapshotLoadFailures: s.counters.snapshotLoadFailures.Load(),
+		SnapshotSaveFailures: s.counters.snapshotSaveFailures.Load(),
+		IndexLoadFailures:    s.counters.indexLoadFailures.Load(),
+		IndexSaveFailures:    s.counters.indexSaveFailures.Load(),
+		Panics:               s.counters.panics.Load(),
+		IngestThrottled:      s.counters.ingestThrottled.Load(),
+	}
+	if r, ok := s.store.(tornTailReporter); ok {
+		d.TornTailRecoveries = r.TornTailRecoveries()
+	}
+	if r, ok := s.cfg.Snapshots.(quarantineReporter); ok {
+		d.QuarantinedSnapshots = r.Quarantined()
+	}
+	if r, ok := s.cfg.Indexes.(quarantineReporter); ok {
+		d.QuarantinedIndexes = r.Quarantined()
+	}
+	return d
 }
 
 // QueueStats reports the ingest queue's backpressure signal.
@@ -1094,6 +1265,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Indexes:     reports,
 		},
 		SnapshotStates: states,
+		Degraded:       s.degradedStats(),
 	})
 }
 

@@ -25,17 +25,72 @@ const (
 )
 
 // Job is one queued unit of work, as reported to clients. Timestamps use
-// the server clock; Result and Error are set when the job finishes.
+// the server clock; Result is set when the job succeeds. A finished
+// failure carries both the flat Error string (kept for compatibility) and
+// the structured Failure, plus how many attempts the worker made.
 type Job struct {
-	ID         string     `json:"id"`
-	Kind       string     `json:"kind"`
-	Status     JobStatus  `json:"status"`
-	Error      string     `json:"error,omitempty"`
-	Result     any        `json:"result,omitempty"`
-	EnqueuedAt time.Time  `json:"enqueued_at"`
-	StartedAt  *time.Time `json:"started_at,omitempty"`
-	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	ID         string      `json:"id"`
+	Kind       string      `json:"kind"`
+	Status     JobStatus   `json:"status"`
+	Error      string      `json:"error,omitempty"`
+	Failure    *JobFailure `json:"failure,omitempty"`
+	Attempts   int         `json:"attempts,omitempty"`
+	Result     any         `json:"result,omitempty"`
+	EnqueuedAt time.Time   `json:"enqueued_at"`
+	StartedAt  *time.Time  `json:"started_at,omitempty"`
+	FinishedAt *time.Time  `json:"finished_at,omitempty"`
 }
+
+// JobFailure is the structured form of a job's terminal error: Kind says
+// why the worker stopped trying ("canceled" — shutdown discarded it,
+// "permanent" — the job said retrying cannot help, "transient" — retries
+// were exhausted), Message is the final attempt's error text.
+type JobFailure struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// ErrQueueClosed and ErrQueueFull classify Enqueue rejections: the first
+// is terminal (the process is shutting down), the second is backpressure —
+// the caller should retry after the backlog drains, and the service layer
+// maps it to 429 with a Retry-After hint.
+var (
+	ErrQueueClosed = errors.New("store: queue is shut down")
+	ErrQueueFull   = errors.New("store: job backlog full")
+)
+
+// permanentError marks an error that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err to tell the queue worker that retrying the job is
+// pointless — the failure is deterministic (bad input, a store gone
+// read-only after a journal fault), not environmental. A nil err stays
+// nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// maxJobAttempts bounds how many times the worker runs one job before
+// declaring its failure terminal; jobRetryBackoff is the delay before the
+// first retry, doubled each attempt. Both are variables so tests can
+// shrink them.
+var (
+	maxJobAttempts  = 3
+	jobRetryBackoff = 50 * time.Millisecond
+)
 
 // queued pairs a job ID with the work to run.
 type queued struct {
@@ -110,12 +165,41 @@ func (q *Queue) worker() {
 	defer close(q.done)
 	for item := range q.ch {
 		if q.ctx.Err() != nil {
-			q.finish(item.id, nil, q.ctx.Err())
+			q.finish(item.id, nil, 0, q.ctx.Err())
 			continue
 		}
 		q.setRunning(item.id)
-		result, err := item.run(q.ctx)
-		q.finish(item.id, result, err)
+		var result any
+		var err error
+		attempts := 0
+		for {
+			attempts++
+			result, err = item.run(q.ctx)
+			if err == nil || attempts >= maxJobAttempts || IsPermanent(err) || q.ctx.Err() != nil {
+				break
+			}
+			q.setAttempts(item.id, attempts)
+			// Transient failure with attempts left: back off briefly
+			// (doubling), cut short by shutdown. The worker is single
+			// threaded, so the backoff also paces the whole queue — which
+			// is the point: a failing dependency should slow intake, not
+			// spin it.
+			select {
+			case <-q.ctx.Done():
+			case <-time.After(jobRetryBackoff << (attempts - 1)):
+			}
+		}
+		q.finish(item.id, result, attempts, err)
+	}
+}
+
+// setAttempts records a retry in flight so a Get between attempts shows
+// how often the job has run.
+func (q *Queue) setAttempts(id string, attempts int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if job, ok := q.jobs[id]; ok {
+		job.Attempts = attempts
 	}
 }
 
@@ -127,7 +211,7 @@ func (q *Queue) Enqueue(kind string, run func(context.Context) (any, error)) (Jo
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return Job{}, fmt.Errorf("store: queue is shut down")
+		return Job{}, ErrQueueClosed
 	}
 	// The sequence number is consumed only on success, so every ID at or
 	// below q.seq names a job that really was issued — the invariant
@@ -145,7 +229,7 @@ func (q *Queue) Enqueue(kind string, run func(context.Context) (any, error)) (Jo
 		q.jobs[job.ID] = job
 		return *job, nil
 	default:
-		return Job{}, fmt.Errorf("store: job backlog full (%d pending)", cap(q.ch))
+		return Job{}, fmt.Errorf("%w (%d pending)", ErrQueueFull, cap(q.ch))
 	}
 }
 
@@ -202,7 +286,7 @@ func (q *Queue) setRunning(id string) {
 	}
 }
 
-func (q *Queue) finish(id string, result any, err error) {
+func (q *Queue) finish(id string, result any, attempts int, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	job, ok := q.jobs[id]
@@ -212,6 +296,7 @@ func (q *Queue) finish(id string, result any, err error) {
 	q.depth--
 	now := time.Now().UTC()
 	job.FinishedAt = &now
+	job.Attempts = attempts
 	switch {
 	case err == nil:
 		job.Status = JobDone
@@ -219,9 +304,15 @@ func (q *Queue) finish(id string, result any, err error) {
 	case q.ctx.Err() != nil && errors.Is(err, context.Canceled):
 		job.Status = JobCanceled
 		job.Error = "canceled by shutdown"
+		job.Failure = &JobFailure{Kind: "canceled", Message: "canceled by shutdown"}
+	case IsPermanent(err):
+		job.Status = JobFailed
+		job.Error = err.Error()
+		job.Failure = &JobFailure{Kind: "permanent", Message: err.Error()}
 	default:
 		job.Status = JobFailed
 		job.Error = err.Error()
+		job.Failure = &JobFailure{Kind: "transient", Message: err.Error()}
 	}
 	q.finished = append(q.finished, id)
 	for len(q.finished) > q.keep {

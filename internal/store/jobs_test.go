@@ -73,6 +73,71 @@ func TestQueueFailedJob(t *testing.T) {
 	if done.Status != JobFailed || done.Error != "boom" {
 		t.Fatalf("job = %+v", done)
 	}
+	if done.Attempts != maxJobAttempts {
+		t.Errorf("transient failure ran %d attempts, want %d", done.Attempts, maxJobAttempts)
+	}
+	if done.Failure == nil || done.Failure.Kind != "transient" || done.Failure.Message != "boom" {
+		t.Errorf("failure = %+v, want transient/boom", done.Failure)
+	}
+}
+
+// TestQueueRetriesTransientFailure pins the retry loop: a job that fails
+// once and then succeeds finishes done, with the attempt count showing
+// both runs.
+func TestQueueRetriesTransientFailure(t *testing.T) {
+	oldBackoff := jobRetryBackoff
+	jobRetryBackoff = time.Millisecond
+	defer func() { jobRetryBackoff = oldBackoff }()
+
+	q := NewQueue(4, 0)
+	defer q.Shutdown(context.Background())
+	runs := 0
+	job, err := q.Enqueue("ingest", func(context.Context) (any, error) {
+		runs++ // safe: single worker serializes runs
+		if runs == 1 {
+			return nil, fmt.Errorf("flaky")
+		}
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitStatus(t, q, job.ID)
+	if done.Status != JobDone || done.Result != "ok" {
+		t.Fatalf("job = %+v, want done after retry", done)
+	}
+	if done.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", done.Attempts)
+	}
+	if done.Failure != nil || done.Error != "" {
+		t.Errorf("successful retry kept failure state: %+v / %q", done.Failure, done.Error)
+	}
+}
+
+// TestQueuePermanentFailureDoesNotRetry pins the Permanent marker: the
+// worker runs the job once, reports kind "permanent", and the error text
+// is the wrapped cause.
+func TestQueuePermanentFailureDoesNotRetry(t *testing.T) {
+	q := NewQueue(4, 0)
+	defer q.Shutdown(context.Background())
+	runs := 0
+	job, err := q.Enqueue("ingest", func(context.Context) (any, error) {
+		runs++
+		return nil, Permanent(fmt.Errorf("store is read-only"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitStatus(t, q, job.ID)
+	if done.Status != JobFailed {
+		t.Fatalf("job = %+v", done)
+	}
+	if runs != 1 || done.Attempts != 1 {
+		t.Errorf("permanent failure ran %d times (attempts %d), want exactly 1", runs, done.Attempts)
+	}
+	if done.Failure == nil || done.Failure.Kind != "permanent" || done.Failure.Message != "store is read-only" {
+		t.Errorf("failure = %+v, want permanent/store is read-only", done.Failure)
+	}
 }
 
 func TestQueueGetUnknown(t *testing.T) {
