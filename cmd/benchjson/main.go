@@ -1,0 +1,204 @@
+// Command benchjson measures the three numbers the project tracks across
+// releases — ingest-plus-blocking throughput, incremental (delta) resolve
+// latency, and read-path lookup throughput — and writes them as one JSON
+// object. The committed BENCH_v7.json at the repo root is this command's
+// output on the reference machine; CI re-runs it and fails on a >30%
+// regression against the committed numbers.
+//
+//	go run ./cmd/benchjson -out BENCH_v7.json
+//
+// The workload is deterministic (fixed seeds), so run-to-run variance
+// comes from the machine, not the data.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+	"repro/internal/serving"
+	"repro/internal/store"
+)
+
+// BenchReport is the committed benchmark record. Throughputs are
+// higher-is-better; the latency is lower-is-better. Lookups are measured
+// single-threaded, so LookupsPerSec is per core.
+type BenchReport struct {
+	Schema string `json:"schema"`
+	// IngestBlockDocsPerSec is documents per second through store append
+	// plus incremental block-index keying.
+	IngestBlockDocsPerSec float64 `json:"ingest_block_docs_per_sec"`
+	// DeltaResolveMillis is the wall time of one incremental resolve after
+	// a small append, with the previous snapshot warm — the O(delta) path.
+	DeltaResolveMillis float64 `json:"delta_resolve_ms"`
+	// LookupsPerSec is single-threaded serving-index lookups per second
+	// (alternating doc-ref and entity-ID lookups).
+	LookupsPerSec float64 `json:"lookups_per_sec"`
+	// Shape records the workload so the numbers are comparable.
+	Collections int `json:"collections"`
+	Docs        int `json:"docs"`
+	Lookups     int `json:"lookups"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "-", "output file (- = stdout)")
+		nCols   = flag.Int("collections", 24, "generated collections")
+		nDocs   = flag.Int("docs", 40, "documents per collection")
+		lookups = flag.Int("lookups", 2_000_000, "read-path lookups to time")
+	)
+	flag.Parse()
+
+	rep, err := run(*nCols, *nDocs, *lookups)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	body = append(body, '\n')
+	if *out == "-" {
+		os.Stdout.Write(body)
+		return
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nCols, nDocs, lookups int) (*BenchReport, error) {
+	ctx := context.Background()
+	cols := make([]*corpus.Collection, nCols)
+	for i := range cols {
+		col, err := corpus.GenerateCollection(corpus.CollectionConfig{
+			Name: fmt.Sprintf("person-%03d", i), NumDocs: nDocs, NumPersonas: 4,
+			Noise: 0.3, MissingInfo: 0.2, Spurious: 0.2, Seed: int64(100 + i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+	}
+
+	// Stage 1: ingest + blocking. Append each collection as its own batch
+	// and re-key the delta through the sharded incremental index after
+	// every batch — the serving pipeline's write path up to the Block
+	// stage.
+	st := store.NewMemStore()
+	blocker, err := pipeline.NewBlocker(blocking.ExactKey{}, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	ib, ok := blocker.(*pipeline.IndexBlocker)
+	if !ok {
+		return nil, fmt.Errorf("exact-key blocker is %T, want *pipeline.IndexBlocker", blocker)
+	}
+	total := 0
+	ingestStart := time.Now()
+	for _, col := range cols {
+		if _, err := st.Append([]*corpus.Collection{col}); err != nil {
+			return nil, err
+		}
+		snap, _ := st.Snapshot()
+		if _, err := ib.BlockFingerprints(ctx, snap); err != nil {
+			return nil, err
+		}
+		total += len(col.Docs)
+	}
+	ingestSecs := time.Since(ingestStart).Seconds()
+
+	// Warm resolve: builds the incremental snapshot every delta resolve
+	// reuses.
+	pl, err := pipeline.New(pipeline.Config{Blocker: ib})
+	if err != nil {
+		return nil, err
+	}
+	snap, version := st.Snapshot()
+	full, err := pl.RunIncremental(ctx, snap, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: delta resolve. One grown collection, everything else
+	// reused.
+	delta, err := corpus.GenerateCollection(corpus.CollectionConfig{
+		Name: cols[0].Name, NumDocs: 10, NumPersonas: 4,
+		Noise: 0.3, MissingInfo: 0.2, Spurious: 0.2, Seed: 999,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := st.Append([]*corpus.Collection{delta}); err != nil {
+		return nil, err
+	}
+	snap, version = st.Snapshot()
+	deltaStart := time.Now()
+	inc, err := pl.RunIncremental(ctx, snap, full.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	deltaMillis := float64(time.Since(deltaStart).Microseconds()) / 1000
+
+	// Stage 3: read path. Materialize the serving index the service would
+	// publish for this commit, then hammer it single-threaded.
+	blocks := make([]serving.BlockResolution, len(inc.Results))
+	for i, res := range inc.Results {
+		blocks[i] = serving.BlockResolution{
+			Fingerprint: inc.Fingerprints[i],
+			Name:        res.Block.Name,
+			Members:     inc.Members[i],
+			Resolution:  res.Resolution,
+			Score:       res.Score,
+		}
+	}
+	x := serving.Build(nil, 1, version, "bench", snap, blocks)
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, x.Clusters())
+	for _, col := range snap {
+		for pos := range col.Docs {
+			if c := x.DocEntity(col.Name, pos); c != nil {
+				ids = append(ids, c.ID)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("serving index answered no documents")
+	}
+	lookupStart := time.Now()
+	hit := 0
+	for i := 0; i < lookups/2; i++ {
+		col := snap[i%len(snap)]
+		if x.DocEntity(col.Name, i%len(col.Docs)) != nil {
+			hit++
+		}
+		if x.Entity(ids[i%len(ids)]) != nil {
+			hit++
+		}
+	}
+	lookupSecs := time.Since(lookupStart).Seconds()
+	if hit == 0 {
+		return nil, fmt.Errorf("every lookup missed")
+	}
+
+	return &BenchReport{
+		Schema:                "bench_v7",
+		IngestBlockDocsPerSec: float64(total) / ingestSecs,
+		DeltaResolveMillis:    deltaMillis,
+		LookupsPerSec:         float64(2*(lookups/2)) / lookupSecs,
+		Collections:           nCols,
+		Docs:                  total,
+		Lookups:               2 * (lookups / 2),
+	}, nil
+}

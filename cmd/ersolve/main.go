@@ -202,6 +202,7 @@ func runServe(args []string) error {
 		drain   = fs.Duration("drain", 10*time.Second, "shutdown drain window for in-flight work")
 		dataDir = fs.String("data", "", "durable data directory (default in-memory only)")
 		shards  = fs.Int("block-shards", 0, "sharded blocking index partitions (0 = default)")
+		rcache  = fs.Int("read-cache", 0, "read-path response cache entries (0 = default 1024, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -214,6 +215,7 @@ func runServe(args []string) error {
 		QueueBuffer:    *queue,
 		JobHistory:     *history,
 		BlockShards:    *shards,
+		ReadCache:      *rcache,
 	}
 
 	// The listener comes up immediately with a bootstrap handler that
@@ -255,6 +257,7 @@ func runServe(args []string) error {
 			cfg.Store = d.Store
 			cfg.Snapshots = d.Snapshots
 			cfg.Indexes = d.Indexes
+			cfg.Serving = d.Serving
 			mu.Lock()
 			data = d
 			mu.Unlock()

@@ -1,0 +1,120 @@
+// Package metrics holds the service's in-process observability
+// primitives. The only one so far is a fixed-bucket log-scale latency
+// histogram: cheap enough to sit on the hot read path (one atomic add per
+// observation), dependency-free, and JSON-shaped for GET /v1/stats.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histogramBuckets is the number of finite buckets. Bucket i covers
+// durations up to 1µs·2^i, so the 26 buckets span 1µs to ~33.5s — wide
+// enough for a microsecond index lookup and a multi-second full resolve on
+// one scale. Observations beyond the last bound land in the overflow
+// bucket.
+const histogramBuckets = 26
+
+// bucketBounds are the inclusive upper bounds, precomputed once.
+var bucketBounds = func() [histogramBuckets]time.Duration {
+	var b [histogramBuckets]time.Duration
+	d := time.Microsecond
+	for i := range b {
+		b[i] = d
+		d *= 2
+	}
+	return b
+}()
+
+// Histogram is a concurrency-safe latency histogram over fixed log-scale
+// buckets (powers of two from 1µs). The zero value is ready to use.
+type Histogram struct {
+	counts   [histogramBuckets]atomic.Int64
+	overflow atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	// The bucket index is the position of d's highest microsecond bit:
+	// binary search is overkill for 26 buckets, a loop stays branch-cheap.
+	for i := range bucketBounds {
+		if d <= bucketBounds[i] {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.overflow.Add(1)
+}
+
+// Bucket is one histogram bar in the JSON report: the cumulative count of
+// observations at or below the bound, Prometheus-style, so downstream
+// tooling can compute quantiles without knowing the bucket layout.
+type Bucket struct {
+	// LeMicros is the bucket's inclusive upper bound in microseconds; the
+	// final bucket reports 0, meaning +Inf.
+	LeMicros int64 `json:"le_us"`
+	// Count is the cumulative number of observations <= the bound.
+	Count int64 `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a histogram, JSON-shaped for
+// /v1/stats.
+type Snapshot struct {
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// SumMillis is the total observed time in milliseconds (fractional).
+	SumMillis float64 `json:"sum_ms"`
+	// Buckets are the cumulative log-scale buckets; empty buckets with no
+	// observations at or below them are elided from the front, trailing
+	// saturated buckets collapse into the last entry.
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot copies the current counts. Concurrent Observe calls may land
+// between bucket reads — the snapshot is advisory monitoring output, not a
+// consistent cut.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{Count: h.count.Load(), SumMillis: float64(h.sumNanos.Load()) / 1e6}
+	cum := int64(0)
+	first, last := -1, -1
+	var raw [histogramBuckets + 1]int64
+	for i := range h.counts {
+		raw[i] = h.counts[i].Load()
+		if raw[i] > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	raw[histogramBuckets] = h.overflow.Load()
+	if raw[histogramBuckets] > 0 {
+		if first < 0 {
+			first = histogramBuckets
+		}
+		last = histogramBuckets
+	}
+	if first < 0 {
+		return s
+	}
+	for i := 0; i <= last; i++ {
+		cum += raw[i]
+		if i < first {
+			continue
+		}
+		le := int64(0) // +Inf for the overflow bucket
+		if i < histogramBuckets {
+			le = int64(bucketBounds[i] / time.Microsecond)
+		}
+		s.Buckets = append(s.Buckets, Bucket{LeMicros: le, Count: cum})
+	}
+	return s
+}

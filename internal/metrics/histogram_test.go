@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond) // <= 1µs bucket
+	h.Observe(time.Microsecond)      // still the 1µs bucket (inclusive bound)
+	h.Observe(3 * time.Microsecond)  // 4µs bucket
+	h.Observe(time.Hour)             // beyond the last bound: overflow
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if len(s.Buckets) == 0 {
+		t.Fatal("no buckets reported")
+	}
+	if s.Buckets[0].LeMicros != 1 || s.Buckets[0].Count != 2 {
+		t.Fatalf("first bucket = %+v, want le_us=1 count=2", s.Buckets[0])
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.LeMicros != 0 || last.Count != 4 {
+		t.Fatalf("overflow bucket = %+v, want le_us=0 (inf) cumulative count=4", last)
+	}
+	// Cumulative counts never decrease.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Count < s.Buckets[i-1].Count {
+			t.Fatalf("bucket %d count %d < previous %d", i, s.Buckets[i].Count, s.Buckets[i-1].Count)
+		}
+	}
+	if s.SumMillis <= 0 {
+		t.Fatalf("sum_ms = %g, want > 0", s.SumMillis)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty histogram snapshot = %+v, want zero", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+}

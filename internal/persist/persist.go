@@ -96,6 +96,10 @@ type Data struct {
 	// restarted server reloads its blocking indexes instead of re-keying
 	// and re-blocking the corpus.
 	Indexes *IndexDir
+	// Serving is the per-resolution-configuration serving-index directory:
+	// a restarted server answers cluster lookups from the last committed
+	// resolution with zero recompute.
+	Serving *ServingDir
 
 	lock *os.File
 }
@@ -119,7 +123,8 @@ func OpenWithOptions(dir string, opts Options) (*Data, error) {
 	segDir := filepath.Join(dir, "segments")
 	snapDir := filepath.Join(dir, "snapshots")
 	idxDir := filepath.Join(dir, "indexes")
-	for _, d := range []string{segDir, snapDir, idxDir} {
+	srvDir := filepath.Join(dir, "serving")
+	for _, d := range []string{segDir, snapDir, idxDir, srvDir} {
 		if err := opts.FS.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("persist: creating %s: %w", d, err)
 		}
@@ -145,7 +150,13 @@ func OpenWithOptions(dir string, opts Options) (*Data, error) {
 		lock.Close()
 		return nil, err
 	}
-	return &Data{Store: st, Snapshots: snaps, Indexes: indexes, lock: lock}, nil
+	srv, err := newServingDir(srvDir, opts)
+	if err != nil {
+		st.Close()
+		lock.Close()
+		return nil, err
+	}
+	return &Data{Store: st, Snapshots: snaps, Indexes: indexes, Serving: srv, lock: lock}, nil
 }
 
 // lockDir takes a non-blocking exclusive flock on DIR/lock. The lock file
@@ -213,7 +224,7 @@ var _ store.AppendObserver = (*Store)(nil)
 // in-memory merge target: subscribers see every batch the journal
 // committed. Replay happens before any subscriber can register (open
 // finishes first), so a restart does not replay notifications.
-func (s *Store) SubscribeAppend(fn func(store.Stats)) {
+func (s *Store) SubscribeAppend(fn func(store.AppendEvent)) {
 	s.mem.SubscribeAppend(fn)
 }
 

@@ -1,0 +1,215 @@
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/faultfs"
+	"repro/internal/serving"
+)
+
+// srvFileMagic heads every persisted serving-index file; the digit is the
+// envelope format version. The envelope records which resolution
+// configuration the serving index belongs to; the serving codec inside
+// carries its own format version and checksum.
+const srvFileMagic = "ERSVF001"
+
+// defaultMaxServingFiles caps how many resolution configurations keep a
+// persisted serving index — one per knobs key, like snapshots.
+const defaultMaxServingFiles = 32
+
+// ServingDir stores one encoded serving.Index per resolution configuration,
+// each in its own file named by a hash of the configuration key. Saves are
+// atomic (temp file + rename), the key is verified on load, and damage
+// surfaces as the codec's typed errors — the damaged file is quarantined
+// (renamed *.corrupt) and the caller rebuilds on the next committed
+// resolve, losing only the restart head-start, never correctness.
+type ServingDir struct {
+	dir  string
+	fsys faultfs.FS
+	logf func(format string, args ...any)
+	// MaxFiles bounds the number of .srv files kept; values < 1 select
+	// defaultMaxServingFiles.
+	MaxFiles int
+	// quarantined counts the damaged files LoadServing renamed aside.
+	quarantined atomic.Int64
+}
+
+// NewServingDir returns a serving-index directory rooted at dir, creating
+// it if needed and sweeping temp files orphaned by a crash mid-save.
+func NewServingDir(dir string) (*ServingDir, error) {
+	return newServingDir(dir, Options{}.withDefaults())
+}
+
+func newServingDir(dir string, opts Options) (*ServingDir, error) {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating %s: %w", dir, err)
+	}
+	sweepOrphans(opts.FS, dir, ".srv-*")
+	return &ServingDir{dir: dir, fsys: opts.FS, logf: opts.Log}, nil
+}
+
+// path names the serving-index file of one configuration key.
+func (d *ServingDir) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:12])+".srv")
+}
+
+// Quarantined reports how many damaged serving-index files this directory
+// has renamed aside since it was opened.
+func (d *ServingDir) Quarantined() int64 { return d.quarantined.Load() }
+
+// SaveServing atomically writes the serving index for one
+// resolution-configuration key.
+func (d *ServingDir) SaveServing(key string, x *serving.Index) error {
+	if len(key) > maxSnapshotKeyBytes {
+		return fmt.Errorf("persist: serving key is %d bytes, cap is %d", len(key), maxSnapshotKeyBytes)
+	}
+	tmp, err := d.fsys.CreateTemp(d.dir, ".srv-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: creating serving temp file: %w", err)
+	}
+	defer d.fsys.Remove(tmp.Name()) // no-op after a successful rename
+
+	var envelope bytes.Buffer
+	envelope.WriteString(srvFileMagic)
+	var klen [4]byte
+	binary.LittleEndian.PutUint32(klen[:], uint32(len(key)))
+	envelope.Write(klen[:])
+	envelope.WriteString(key)
+	if _, err := tmp.Write(envelope.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: writing serving envelope: %w", err)
+	}
+	if err := x.EncodeTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: syncing serving index: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: closing serving temp file: %w", err)
+	}
+	if err := d.fsys.Rename(tmp.Name(), d.path(key)); err != nil {
+		return fmt.Errorf("persist: publishing serving index: %w", err)
+	}
+	if err := d.fsys.SyncDir(d.dir); err != nil {
+		return fmt.Errorf("persist: syncing directory %s: %w", d.dir, err)
+	}
+	d.prune()
+	return nil
+}
+
+// prune removes the oldest serving files beyond the cap, best effort.
+func (d *ServingDir) prune() {
+	limit := d.MaxFiles
+	if limit < 1 {
+		limit = defaultMaxServingFiles
+	}
+	pruneOldest(d.fsys, filepath.Join(d.dir, "*.srv"), limit)
+}
+
+// LoadServing reads the serving index saved for key. A missing file returns
+// (nil, nil): no serving snapshot is not an error. A present-but-damaged
+// file is quarantined (renamed *.corrupt) and returns the codec's typed
+// error — serving.ErrCodecVersion for version skew, serving.ErrCodecCorrupt
+// for damage — so the caller rebuilds on the next commit, knowing the next
+// save starts clean.
+func (d *ServingDir) LoadServing(key string) (*serving.Index, error) {
+	return d.loadFile(d.path(key), key)
+}
+
+// LoadLatestServing returns the most recently saved serving index across
+// all configuration keys — what a restarted server publishes as its hot
+// index before any resolve has run ("the last committed resolution wins").
+// Damaged files are quarantined and the next-newest tried, so one bad file
+// costs only its own snapshot. (nil, nil) when nothing usable is stored;
+// the first load error when nothing loads but something was damaged.
+func (d *ServingDir) LoadLatestServing() (*serving.Index, error) {
+	names, err := d.fsys.Glob(filepath.Join(d.dir, "*.srv"))
+	if err != nil {
+		return nil, fmt.Errorf("persist: listing serving indexes: %w", err)
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	files := make([]aged, 0, len(names))
+	for _, name := range names {
+		info, err := d.fsys.Stat(name)
+		if err != nil {
+			continue // raced with prune/quarantine
+		}
+		files = append(files, aged{name: name, mod: info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod > files[j].mod })
+	var firstErr error
+	for _, f := range files {
+		x, err := d.loadFile(f.name, "")
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if x != nil {
+			return x, nil
+		}
+	}
+	return nil, firstErr
+}
+
+// loadFile reads one serving-index file; wantKey == "" skips the envelope
+// key check (the latest-file path, where any configuration's index is
+// acceptable). Missing files return (nil, nil); damaged files are
+// quarantined and return their error.
+func (d *ServingDir) loadFile(path, wantKey string) (*serving.Index, error) {
+	f, err := d.fsys.OpenFile(path, os.O_RDONLY, 0)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening serving index: %w", err)
+	}
+	defer f.Close()
+
+	damaged := func(err error) error {
+		quarantine(&d.quarantined, d.fsys, d.logf, path, err)
+		return err
+	}
+	header := make([]byte, len(srvFileMagic)+4)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, damaged(fmt.Errorf("persist: serving index %s: truncated envelope: %w", path, err))
+	}
+	if string(header[:len(srvFileMagic)]) != srvFileMagic {
+		return nil, damaged(fmt.Errorf("persist: serving index %s: bad magic %q (foreign file or unsupported envelope version)",
+			path, header[:len(srvFileMagic)]))
+	}
+	klen := binary.LittleEndian.Uint32(header[len(srvFileMagic):])
+	if klen > maxSnapshotKeyBytes {
+		return nil, damaged(fmt.Errorf("persist: serving index %s: key length %d is corrupt", path, klen))
+	}
+	gotKey := make([]byte, klen)
+	if _, err := io.ReadFull(f, gotKey); err != nil {
+		return nil, damaged(fmt.Errorf("persist: serving index %s: truncated key: %w", path, err))
+	}
+	if wantKey != "" && string(gotKey) != wantKey {
+		return nil, damaged(fmt.Errorf("persist: serving index %s was saved for configuration %q, not %q",
+			path, gotKey, wantKey))
+	}
+	x, err := serving.Decode(f)
+	if err != nil {
+		return nil, damaged(fmt.Errorf("persist: serving index %s: %w", path, err))
+	}
+	return x, nil
+}

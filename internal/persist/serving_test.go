@@ -1,0 +1,204 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blockindex"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/serving"
+)
+
+// servingFixture builds a two-cluster serving index over one collection.
+func servingFixture(t *testing.T, epoch, version uint64, knobs string) *serving.Index {
+	t.Helper()
+	cols := []*corpus.Collection{
+		{Name: "smith", NumPersonas: 2, Docs: []corpus.Document{
+			{ID: 0, URL: "http://a/0", Text: "one", PersonaID: 0},
+			{ID: 1, URL: "http://a/1", Text: "two", PersonaID: 0},
+			{ID: 2, URL: "http://a/2", Text: "three", PersonaID: 1},
+		}},
+	}
+	blocks := []serving.BlockResolution{{
+		Fingerprint: 0xFEED,
+		Name:        "smith",
+		Members: []blockindex.DocRef{
+			{Col: 0, Doc: 0}, {Col: 0, Doc: 1}, {Col: 0, Doc: 2},
+		},
+		Resolution: &core.Resolution{Labels: []int{0, 0, 1}, Source: "test"},
+	}}
+	x := serving.Build(nil, epoch, version, knobs, cols, blocks)
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestServingDirRoundTrip(t *testing.T) {
+	dir, err := NewServingDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing saved: both load paths answer (nil, nil).
+	if x, err := dir.LoadServing("knobs-a"); err != nil || x != nil {
+		t.Fatalf("LoadServing on empty dir = (%v, %v), want (nil, nil)", x, err)
+	}
+	if x, err := dir.LoadLatestServing(); err != nil || x != nil {
+		t.Fatalf("LoadLatestServing on empty dir = (%v, %v), want (nil, nil)", x, err)
+	}
+
+	saved := servingFixture(t, 3, 7, "knobs-a")
+	if err := dir.SaveServing("knobs-a", saved); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dir.LoadServing("knobs-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch() != 3 || got.StoreVersion() != 7 || got.Knobs() != "knobs-a" {
+		t.Fatalf("reloaded index = epoch %d version %d knobs %q", got.Epoch(), got.StoreVersion(), got.Knobs())
+	}
+	if got.Clusters() != saved.Clusters() || got.Docs() != saved.Docs() {
+		t.Fatalf("shape changed: %d/%d clusters, %d/%d docs",
+			got.Clusters(), saved.Clusters(), got.Docs(), saved.Docs())
+	}
+	c := got.DocEntity("smith", 1)
+	if c == nil || len(c.Members) != 2 {
+		t.Fatalf("DocEntity after reload = %+v", c)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different key loads nothing — files are per configuration.
+	if x, err := dir.LoadServing("knobs-b"); err != nil || x != nil {
+		t.Fatalf("LoadServing with other key = (%v, %v), want (nil, nil)", x, err)
+	}
+}
+
+func TestServingDirLatestWinsAndSkipsDamage(t *testing.T) {
+	tmp := t.TempDir()
+	dir, err := NewServingDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.SaveServing("old", servingFixture(t, 1, 1, "old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.SaveServing("new", servingFixture(t, 2, 2, "new")); err != nil {
+		t.Fatal(err)
+	}
+	// Make the mtime ordering unambiguous on coarse-grained filesystems.
+	past := time.Now().Add(-time.Hour)
+	sum := dir.path("old")
+	if err := os.Chtimes(sum, past, past); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := dir.LoadLatestServing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Knobs() != "new" {
+		t.Fatalf("latest = %q, want the most recently saved", got.Knobs())
+	}
+
+	// Corrupt the newest file: LoadLatestServing quarantines it and falls
+	// back to the older one.
+	newPath := dir.path("new")
+	body, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body[len(body)-5] ^= 0xFF
+	if err := os.WriteFile(newPath, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = dir.LoadLatestServing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Knobs() != "old" {
+		t.Fatalf("after damage, latest = %q, want the surviving older file", got.Knobs())
+	}
+	if dir.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1", dir.Quarantined())
+	}
+	matches, err := filepath.Glob(filepath.Join(tmp, "*.corrupt"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("corrupt files = %v (%v), want exactly one", matches, err)
+	}
+}
+
+func TestServingDirRejectsDamage(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(t *testing.T, path string)
+		want   error
+	}{
+		{"bit flip in payload", func(t *testing.T, path string) {
+			body, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body[len(body)-6] ^= 0x01
+			if err := os.WriteFile(path, body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, serving.ErrCodecCorrupt},
+		{"truncated tail", func(t *testing.T, path string) {
+			body, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, body[:len(body)-3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, serving.ErrCodecCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, err := NewServingDir(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dir.SaveServing("k", servingFixture(t, 1, 1, "k")); err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(t, dir.path("k"))
+			if _, err := dir.LoadServing("k"); !errors.Is(err, tc.want) {
+				t.Fatalf("LoadServing after %s = %v, want %v", tc.name, err, tc.want)
+			}
+			if dir.Quarantined() != 1 {
+				t.Fatalf("quarantined = %d, want 1", dir.Quarantined())
+			}
+			// The damaged file was renamed aside, so the next load is a
+			// clean miss and the next save starts fresh.
+			if x, err := dir.LoadServing("k"); err != nil || x != nil {
+				t.Fatalf("post-quarantine load = (%v, %v), want (nil, nil)", x, err)
+			}
+		})
+	}
+
+	// A key mismatch (hash collision or renamed file) is damage too.
+	dir, err := NewServingDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.SaveServing("real", servingFixture(t, 1, 1, "real")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(dir.path("real"), dir.path("imposter")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = dir.LoadServing("imposter")
+	if err == nil || !strings.Contains(err.Error(), "was saved for configuration") {
+		t.Fatalf("key-mismatch load = %v, want a key mismatch error", err)
+	}
+}

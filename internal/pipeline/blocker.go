@@ -68,19 +68,35 @@ func NamesKey(col *corpus.Collection, doc corpus.Document) []string {
 	return keys
 }
 
+// URLHostKey keys a document by the host of its page URL — pages hosted
+// together (a personal site, a lab directory, a company's staff pages)
+// usually describe one person, so the host carries identity signal (the
+// paper's feature F2) that cross-collection blocking can exploit. A page
+// with no parseable host keeps its collection name as a fallback key so it
+// still blocks with its retrieval siblings.
+func URLHostKey(col *corpus.Collection, doc corpus.Document) []string {
+	if host := extract.ParseURL(doc.URL).Host; host != "" {
+		return []string{host}
+	}
+	return []string{col.Name}
+}
+
 // KeyNames are the accepted ParseKeys spellings, in display order for
 // CLI/API usage messages.
-var KeyNames = []string{"collection", "names"}
+var KeyNames = []string{"collection", "names", "urlhost"}
 
 // ParseKeys maps a CLI/API key-function name to its KeyFunc: "collection"
 // is the paper's retrieved-for-one-name scheme, "names" keys documents by
-// their extracted person-name mentions (F3/F7).
+// their extracted person-name mentions (F3/F7), "urlhost" by the page
+// URL's host (F2).
 func ParseKeys(name string) (KeyFunc, error) {
 	switch name {
 	case "", "collection":
 		return collectionNameKey, nil
 	case "names":
 		return NamesKey, nil
+	case "urlhost":
+		return URLHostKey, nil
 	default:
 		return nil, fmt.Errorf("pipeline: unknown key function %q (valid: %s)",
 			name, strings.Join(KeyNames, ", "))

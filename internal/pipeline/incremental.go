@@ -66,11 +66,17 @@ type IncrementalStats struct {
 
 // IncrementalResult is RunIncremental's output: the per-block results in
 // block order, the snapshot to carry into the next run, and the diff
-// stats.
+// stats. Members and Fingerprints describe each block's identity in the
+// same order as Results — Members[i] lists block i's documents as refs
+// into the resolved snapshot, Fingerprints[i] is its membership
+// fingerprint — which is exactly what a serving index needs to
+// re-materialize only the dirty blocks after a commit.
 type IncrementalResult struct {
-	Results  []Result
-	Snapshot *Snapshot
-	Stats    IncrementalStats
+	Results      []Result
+	Snapshot     *Snapshot
+	Stats        IncrementalStats
+	Members      [][]DocRef
+	Fingerprints []uint64
 }
 
 // RunIncremental resolves the collections like Run, but diffs the block
@@ -93,8 +99,10 @@ type IncrementalResult struct {
 // SchemeBlocker does).
 func (p *Pipeline) RunIncremental(ctx context.Context, cols []*corpus.Collection, prev *Snapshot) (*IncrementalResult, error) {
 	var blocks []*corpus.Collection
+	var members [][]DocRef
 	var fps []uint64
 	var blockingStats *BlockingStats
+	blockStart := p.now()
 	switch b := p.blocker.(type) {
 	case FingerprintBlocker:
 		// The block stage maintains membership fingerprints itself (the
@@ -104,11 +112,10 @@ func (p *Pipeline) RunIncremental(ctx context.Context, cols []*corpus.Collection
 		if err != nil {
 			return nil, err
 		}
-		blocks, fps = indexed.Blocks, indexed.Fingerprints
+		blocks, members, fps = indexed.Blocks, indexed.Members, indexed.Fingerprints
 		stats := indexed.Stats
 		blockingStats = &stats
 	case MembershipBlocker:
-		var members [][]DocRef
 		var err error
 		blocks, members, err = b.BlockMembership(ctx, cols)
 		if err != nil {
@@ -127,6 +134,7 @@ func (p *Pipeline) RunIncremental(ctx context.Context, cols []*corpus.Collection
 	default:
 		return nil, fmt.Errorf("pipeline: incremental resolution requires a membership-reporting blocker, %T does not report membership", p.blocker)
 	}
+	p.observe(StageBlock, blockStart)
 
 	results := make([]Result, len(blocks))
 	preps := make([]*core.Prepared, len(blocks))
@@ -167,7 +175,13 @@ func (p *Pipeline) RunIncremental(ctx context.Context, cols []*corpus.Collection
 	}
 	st.Prepared = int(prepares.Load())
 	st.Trivial = len(todo) - st.Prepared
-	return &IncrementalResult{Results: results, Snapshot: next, Stats: st}, nil
+	return &IncrementalResult{
+		Results:      results,
+		Snapshot:     next,
+		Stats:        st,
+		Members:      members,
+		Fingerprints: fps,
+	}, nil
 }
 
 // rescored returns cb with a score if the pipeline wants one and the cache

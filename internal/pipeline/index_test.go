@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/blockindex"
@@ -382,5 +383,56 @@ func TestNewBlockerPicksIndexForKeyedSchemes(t *testing.T) {
 	}
 	if _, err := New(Config{Blocker: SchemeBlocker{Scheme: blocking.Canopy{Loose: 0.9, Tight: 0.2}}}); err == nil {
 		t.Error("pipeline.New accepted inverted canopy thresholds")
+	}
+}
+
+// TestURLHostKeyBlocksByHost pins the urlhost key function: pages hosted
+// together block together regardless of which query retrieved them, and a
+// page with no parseable host falls back to its collection name.
+func TestURLHostKeyBlocksByHost(t *testing.T) {
+	cols := []*corpus.Collection{
+		{Name: "smith", NumPersonas: 1, Docs: []corpus.Document{
+			{ID: 0, URL: "http://lab.example/people/smith", Text: "bio", PersonaID: 0},
+			{ID: 1, URL: "http://other.example/smith", Text: "talk", PersonaID: 0},
+		}},
+		{Name: "jones", NumPersonas: 1, Docs: []corpus.Document{
+			{ID: 0, URL: "http://lab.example/people/jones", Text: "bio", PersonaID: 0},
+		}},
+	}
+
+	keys, err := ParseKeys("urlhost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := keys(cols[0], cols[0].Docs[0]); len(got) != 1 || got[0] != "lab.example" {
+		t.Fatalf("urlhost keys = %v, want [lab.example]", got)
+	}
+	noURL := corpus.Document{ID: 2, Text: "no url", PersonaID: 0}
+	if got := keys(cols[0], noURL); len(got) != 1 || got[0] != "smith" {
+		t.Fatalf("fallback keys = %v, want the collection name", got)
+	}
+
+	b, err := NewBlocker(blocking.ExactKey{}, keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := b.Block(context.Background(), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lab.example merges smith/0 with jones/0; other.example keeps smith/1
+	// apart: two blocks.
+	if len(blocks) != 2 {
+		t.Fatalf("urlhost keys produced %d blocks, want 2", len(blocks))
+	}
+	sizes := []int{len(blocks[0].Docs), len(blocks[1].Docs)}
+	if sizes[0]+sizes[1] != 3 || (sizes[0] != 2 && sizes[1] != 2) {
+		t.Fatalf("block sizes = %v, want one merged pair and one singleton", sizes)
+	}
+
+	// ParseKeys rejects unknown names and lists urlhost among the valid
+	// spellings.
+	if _, err := ParseKeys("nope"); err == nil || !strings.Contains(err.Error(), "urlhost") {
+		t.Fatalf("unknown key error = %v, want mention of urlhost", err)
 	}
 }

@@ -29,12 +29,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/blocking"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
 	"repro/internal/stats"
+)
+
+// Stage names passed to Config.Observe, one per instrumented pipeline
+// stage. StageBlock is observed once per run (the block stage is one
+// pass); the others are observed once per non-trivial block, possibly from
+// several workers at once.
+const (
+	StageBlock   = "block"
+	StagePrepare = "prepare"
+	StageAnalyze = "analyze"
+	StageCluster = "cluster"
 )
 
 // Config assembles a Pipeline from its pluggable stages. Zero fields
@@ -65,6 +77,11 @@ type Config struct {
 	// Score evaluates every resolution against the block's embedded
 	// ground truth and fills Result.Score.
 	Score bool
+	// Observe, when non-nil, receives the wall-clock duration of each
+	// instrumented stage execution (see the Stage constants). It is called
+	// concurrently from worker goroutines and must be fast and
+	// concurrency-safe — an atomic histogram, not a mutex-heavy sink.
+	Observe func(stage string, d time.Duration)
 }
 
 // Pipeline is an assembled, reusable resolution pipeline. It is safe for
@@ -77,6 +94,24 @@ type Pipeline struct {
 	workers  int
 	buffer   int
 	score    bool
+	observeF func(stage string, d time.Duration)
+}
+
+// now returns the stage clock's reading, or the zero time when nothing
+// observes — keeping the uninstrumented hot path free of clock calls.
+func (p *Pipeline) now() time.Time {
+	if p.observeF == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observe reports one stage execution that began at start.
+func (p *Pipeline) observe(stage string, start time.Time) {
+	if p.observeF == nil || start.IsZero() {
+		return
+	}
+	p.observeF(stage, time.Since(start))
 }
 
 // New validates the configuration and assembles the pipeline.
@@ -103,6 +138,7 @@ func New(cfg Config) (*Pipeline, error) {
 		workers:  cfg.Workers,
 		buffer:   cfg.Buffer,
 		score:    cfg.Score,
+		observeF: cfg.Observe,
 	}
 	if p.blocker == nil {
 		p.blocker = DefaultBlocker()
@@ -160,10 +196,12 @@ type prepped struct {
 // training seed depends only on its index. A canceled or timed-out context
 // aborts the in-flight stages promptly and Run returns ctx.Err().
 func (p *Pipeline) Run(ctx context.Context, cols []*corpus.Collection) ([]Result, error) {
+	blockStart := p.now()
 	blocks, err := p.blocker.Block(ctx, cols)
 	if err != nil {
 		return nil, err
 	}
+	p.observe(StageBlock, blockStart)
 	results := make([]Result, len(blocks))
 	todo := make([]int, len(blocks))
 	for i := range todo {
@@ -244,11 +282,13 @@ func (p *Pipeline) stream(ctx context.Context, blocks []*corpus.Collection, todo
 				if prepares != nil {
 					prepares.Add(1)
 				}
+				prepStart := p.now()
 				prep, err := p.resolver.PrepareCtx(runCtx, col)
 				if err != nil {
 					fail(fmt.Errorf("pipeline: preparing block %q: %w", col.Name, err))
 					return
 				}
+				p.observe(StagePrepare, prepStart)
 				if preps != nil {
 					preps[i] = prep
 				}
@@ -296,14 +336,18 @@ func (p *Pipeline) stream(ctx context.Context, blocks []*corpus.Collection, todo
 // resolveBlock runs analysis, combination, clustering and scoring for one
 // prepared block.
 func (p *Pipeline) resolveBlock(idx int, col *corpus.Collection, prep *core.Prepared, seed int64) (Result, error) {
+	analyzeStart := p.now()
 	a, err := prep.Run(seed)
 	if err != nil {
 		return Result{}, err
 	}
+	p.observe(StageAnalyze, analyzeStart)
+	clusterStart := p.now()
 	res, err := p.strategy(a)
 	if err != nil {
 		return Result{}, err
 	}
+	p.observe(StageCluster, clusterStart)
 	out := Result{Index: idx, Block: col, Resolution: res}
 	if p.score {
 		s, err := eval.Evaluate(res.Labels, col.GroundTruth())

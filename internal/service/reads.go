@@ -1,0 +1,472 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/serving"
+)
+
+// ServingStore persists the hot serving index (internal/persist.ServingDir
+// is the disk implementation). SaveServing files the committed index under
+// its resolution-configuration key; LoadLatestServing returns the most
+// recently saved index of any configuration — what a restarted server
+// publishes before any resolve has run — or (nil, nil) when none is stored.
+type ServingStore interface {
+	SaveServing(key string, x *serving.Index) error
+	LoadLatestServing() (*serving.Index, error)
+}
+
+// stageHistograms are the per-stage latency histograms /v1/stats reports:
+// the four pipeline stages plus the read-path lookup.
+type stageHistograms struct {
+	block, prepare, analyze, cluster, lookup metrics.Histogram
+}
+
+// observeStage routes a pipeline stage duration into its histogram; it is
+// the pipeline.Config.Observe hook of every pipeline this server builds.
+func (s *Server) observeStage(stage string, d time.Duration) {
+	switch stage {
+	case pipeline.StageBlock:
+		s.latency.block.Observe(d)
+	case pipeline.StagePrepare:
+		s.latency.prepare.Observe(d)
+	case pipeline.StageAnalyze:
+		s.latency.analyze.Observe(d)
+	case pipeline.StageCluster:
+		s.latency.cluster.Observe(d)
+	}
+}
+
+// publishServing materializes the committed run's serving index, swaps it
+// in as the hot read-path index, and persists it. Called from the
+// incremental endpoint after a successful run, before the response is
+// written — so a client that saw the resolve acknowledged can immediately
+// read the clusters it produced. The swap is skipped when the hot index
+// already reflects a NEWER store version (a slow run for an older snapshot
+// must not roll the read path back); the last committed resolution wins
+// ties, so re-resolving one store version under new knobs re-points reads.
+func (s *Server) publishServing(key string, cols []*corpus.Collection, version uint64, inc *pipeline.IncrementalResult) {
+	if len(inc.Members) != len(inc.Results) || len(inc.Fingerprints) != len(inc.Results) {
+		// A blocker that reports no membership cannot feed the serving
+		// index; the incremental path always uses membership blockers, so
+		// this is belt and braces.
+		return
+	}
+	blocks := make([]serving.BlockResolution, len(inc.Results))
+	for i, res := range inc.Results {
+		blocks[i] = serving.BlockResolution{
+			Fingerprint: inc.Fingerprints[i],
+			Name:        res.Block.Name,
+			Members:     inc.Members[i],
+			Resolution:  res.Resolution,
+			Score:       res.Score,
+		}
+	}
+
+	s.servingMu.Lock()
+	defer s.servingMu.Unlock()
+	prev := s.serving.Load()
+	if prev != nil && prev.StoreVersion() > version {
+		return
+	}
+	epoch := s.servingEpoch + 1
+	x := serving.Build(prev, epoch, version, key, cols, blocks)
+	s.servingEpoch = epoch
+	s.serving.Store(x)
+	s.readCache.clear()
+
+	if s.cfg.Serving != nil {
+		// Persist before the resolve is acknowledged, mirroring snapshot
+		// saves: a crash after the answer still restarts with this
+		// resolution servable. A failure costs the restart head-start, not
+		// correctness, and is counted as degradation.
+		if err := s.cfg.Serving.SaveServing(key, x); err != nil {
+			s.counters.servingSaveFailures.Add(1)
+			s.cfg.ErrorLog("service: saving serving index for %q: %v", key, err)
+		}
+	}
+}
+
+// readCache is the read path's LRU response cache: rendered JSON bodies
+// keyed by (endpoint, argument), tagged with the serving epoch they were
+// rendered from. Entries from an older epoch are dead on arrival (the
+// epoch advances with every publish), and the whole cache is cleared when
+// an ingest batch commits — the append-subscription-driven invalidation —
+// and on publish. A nil cache (disabled by configuration) answers every
+// lookup with a miss.
+type readCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	epoch  uint64
+	status int
+	body   []byte
+}
+
+func newReadCache(max int) *readCache {
+	if max <= 0 {
+		return nil
+	}
+	return &readCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *readCache) get(key string, epoch uint64) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.epoch != epoch {
+		// Stale render from a previous serving index; drop it now rather
+		// than waiting for eviction.
+		c.order.Remove(el)
+		delete(c.byKey, key)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return e, true
+}
+
+func (c *readCache) put(e *cacheEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.key]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[e.key] = c.order.PushFront(e)
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *readCache) clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.byKey)
+}
+
+func (c *readCache) size() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// EntityResponse is the GET /v1/entities/{id} and GET /v1/docs/{ref}/entity
+// reply. Epoch and StoreVersion identify the serving index that answered:
+// reads serve the last committed resolution, so StoreVersion may trail the
+// live store until the next incremental resolve commits.
+type EntityResponse struct {
+	Entity *serving.Cluster `json:"entity"`
+	// Epoch is the serving index's publish counter.
+	Epoch uint64 `json:"epoch"`
+	// StoreVersion is the store version the serving index was built from.
+	StoreVersion uint64 `json:"store_version"`
+}
+
+// SearchHit is one GET /v1/search candidate: a cluster whose block tokens
+// matched the query, with how many query tokens matched.
+type SearchHit struct {
+	Matched int              `json:"matched"`
+	Entity  *serving.Cluster `json:"entity"`
+}
+
+// SearchResponse is the GET /v1/search reply.
+type SearchResponse struct {
+	Query        string      `json:"query"`
+	Hits         []SearchHit `json:"hits"`
+	Epoch        uint64      `json:"epoch"`
+	StoreVersion uint64      `json:"store_version"`
+}
+
+// hotIndex loads the serving index, answering 409 (and false) when no
+// resolution has been committed yet — the read path serves committed
+// resolutions only, so an empty server tells the client what to do first.
+func (s *Server) hotIndex(w http.ResponseWriter) (*serving.Index, bool) {
+	x := s.serving.Load()
+	if x == nil {
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error: "no resolution has been committed yet; run POST /v1/resolve/incremental first"})
+		return nil, false
+	}
+	return x, true
+}
+
+// serveCached answers from the response cache when it can; on a miss it
+// renders v, caches the body under the current epoch, and writes it. The
+// rendered bytes are identical either way, so clients cannot observe
+// whether they hit the cache (except through /v1/stats).
+func (s *Server) serveCached(w http.ResponseWriter, key string, epoch uint64, status int, v any) {
+	if e, ok := s.readCache.get(key, epoch); ok {
+		s.counters.cacheHits.Add(1)
+		writeRawJSON(w, e.status, e.body)
+		return
+	}
+	s.counters.cacheMisses.Add(1)
+	body, err := renderJSON(v)
+	if err != nil {
+		// Unreachable for the response types; answer uncached.
+		writeJSON(w, status, v)
+		return
+	}
+	s.readCache.put(&cacheEntry{key: key, epoch: epoch, status: status, body: body})
+	writeRawJSON(w, status, body)
+}
+
+// handleEntity answers GET /v1/entities/{id}: the cluster with that stable
+// entity ID, or 404.
+func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/entities/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "entity paths look like /v1/entities/{id}"})
+		return
+	}
+	x, ok := s.hotIndex(w)
+	if !ok {
+		return
+	}
+	s.counters.readEntities.Add(1)
+	start := time.Now()
+	c := x.Entity(id)
+	s.latency.lookup.Observe(time.Since(start))
+	if c == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown entity %q", id)})
+		return
+	}
+	s.serveCached(w, "entity\x00"+id, x.Epoch(), http.StatusOK,
+		EntityResponse{Entity: c, Epoch: x.Epoch(), StoreVersion: x.StoreVersion()})
+}
+
+// handleDocEntity answers GET /v1/docs/{ref}/entity where ref is
+// "collection:pos": the cluster containing that store document, or 404 —
+// including for documents ingested after the served resolution committed
+// (the staleness contract's honest answer).
+func (s *Server) handleDocEntity(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/docs/")
+	ref, okPath := strings.CutSuffix(rest, "/entity")
+	if !okPath || ref == "" || strings.Contains(ref, "/") {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: "doc lookups look like /v1/docs/{collection}:{pos}/entity"})
+		return
+	}
+	// The collection name may itself contain colons (merged blocks use
+	// "+", but nothing forbids a colon in an ingested name), so the
+	// position is everything after the LAST colon.
+	cut := strings.LastIndexByte(ref, ':')
+	if cut < 0 {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("doc ref %q needs the form {collection}:{pos}", ref)})
+		return
+	}
+	collection, posStr := ref[:cut], ref[cut+1:]
+	pos, err := strconv.Atoi(posStr)
+	if err != nil || pos < 0 {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("doc position %q is not a non-negative integer", posStr)})
+		return
+	}
+	x, ok := s.hotIndex(w)
+	if !ok {
+		return
+	}
+	s.counters.readDocs.Add(1)
+	start := time.Now()
+	c := x.DocEntity(collection, pos)
+	s.latency.lookup.Observe(time.Since(start))
+	if c == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: fmt.Sprintf("document (%s, %d) is not in the served resolution (unknown, or ingested after store version %d)",
+				collection, pos, x.StoreVersion())})
+		return
+	}
+	s.serveCached(w, "doc\x00"+ref, x.Epoch(), http.StatusOK,
+		EntityResponse{Entity: c, Epoch: x.Epoch(), StoreVersion: x.StoreVersion()})
+}
+
+// handleSearch answers GET /v1/search?name=…[&limit=N]: candidate clusters
+// whose block tokens match the query's name tokens, most matches first.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "search needs a ?name= query"})
+		return
+	}
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("limit %q is not a positive integer", ls)})
+			return
+		}
+		limit = n
+	}
+	x, ok := s.hotIndex(w)
+	if !ok {
+		return
+	}
+	s.counters.readSearch.Add(1)
+	start := time.Now()
+	hits := x.Search(name, limit)
+	s.latency.lookup.Observe(time.Since(start))
+	resp := SearchResponse{
+		Query:        name,
+		Hits:         make([]SearchHit, 0, len(hits)),
+		Epoch:        x.Epoch(),
+		StoreVersion: x.StoreVersion(),
+	}
+	for _, h := range hits {
+		resp.Hits = append(resp.Hits, SearchHit{Matched: h.Matched, Entity: h.Cluster})
+	}
+	s.serveCached(w, "search\x00"+name+"\x00"+strconv.Itoa(limit), x.Epoch(), http.StatusOK, resp)
+}
+
+// renderJSON produces exactly the bytes writeJSON would stream, so cached
+// and uncached responses are byte-identical.
+func renderJSON(v any) ([]byte, error) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// writeRawJSON writes a pre-rendered JSON body.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// ServingReport is the /v1/stats view of the hot serving index: which
+// committed resolution reads are answered from and whether the store has
+// moved past it (the staleness contract: reads always serve the last
+// committed resolution, never a half-applied one).
+type ServingReport struct {
+	// Available reports whether a serving index has been published; when
+	// false the read endpoints answer 409 and every other field is zero.
+	Available bool `json:"available"`
+	// Epoch increments on every published serving index (restart loads
+	// resume from the persisted epoch).
+	Epoch uint64 `json:"epoch"`
+	// StoreVersion is the store snapshot the index was built from;
+	// comparing it with the live store version (Stale below) quantifies
+	// read-path staleness.
+	StoreVersion uint64 `json:"store_version"`
+	// Knobs is the resolution-configuration key the index was built under.
+	Knobs string `json:"knobs"`
+	// Clusters, Docs and Blocks describe the index's shape.
+	Clusters int `json:"clusters"`
+	Docs     int `json:"docs"`
+	Blocks   int `json:"blocks"`
+	// Stale is true when the live store has committed documents past the
+	// snapshot the serving index was built from — reads still answer, from
+	// the last committed resolution, until the next incremental resolve
+	// publishes a fresher index.
+	Stale bool `json:"stale"`
+}
+
+// ReadStats aggregates the read path's per-endpoint counters and the
+// response cache's traffic.
+type ReadStats struct {
+	Entities    int64 `json:"entities"`
+	Docs        int64 `json:"docs"`
+	Search      int64 `json:"search"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheSize   int   `json:"cache_size"`
+}
+
+// LatencyReport exposes the per-stage latency histograms: the four
+// pipeline stages plus the read-path lookup.
+type LatencyReport struct {
+	Block   metrics.Snapshot `json:"block"`
+	Prepare metrics.Snapshot `json:"prepare"`
+	Analyze metrics.Snapshot `json:"analyze"`
+	Cluster metrics.Snapshot `json:"cluster"`
+	Lookup  metrics.Snapshot `json:"lookup"`
+}
+
+// servingReport assembles the /v1/stats serving section from the hot
+// index and the live store version.
+func (s *Server) servingReport(liveVersion uint64) ServingReport {
+	x := s.serving.Load()
+	if x == nil {
+		return ServingReport{}
+	}
+	return ServingReport{
+		Available:    true,
+		Epoch:        x.Epoch(),
+		StoreVersion: x.StoreVersion(),
+		Knobs:        x.Knobs(),
+		Clusters:     x.Clusters(),
+		Docs:         x.Docs(),
+		Blocks:       x.Blocks(),
+		Stale:        liveVersion > x.StoreVersion(),
+	}
+}
+
+// readStats assembles the /v1/stats reads section.
+func (s *Server) readStats() ReadStats {
+	return ReadStats{
+		Entities:    s.counters.readEntities.Load(),
+		Docs:        s.counters.readDocs.Load(),
+		Search:      s.counters.readSearch.Load(),
+		CacheHits:   s.counters.cacheHits.Load(),
+		CacheMisses: s.counters.cacheMisses.Load(),
+		CacheSize:   s.readCache.size(),
+	}
+}
+
+// latencyReport snapshots the per-stage histograms.
+func (s *Server) latencyReport() LatencyReport {
+	return LatencyReport{
+		Block:   s.latency.block.Snapshot(),
+		Prepare: s.latency.prepare.Snapshot(),
+		Analyze: s.latency.analyze.Snapshot(),
+		Cluster: s.latency.cluster.Snapshot(),
+		Lookup:  s.latency.lookup.Snapshot(),
+	}
+}

@@ -1,0 +1,405 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/persist"
+	"repro/internal/serving"
+	"repro/internal/store"
+)
+
+// getJSON GETs path and decodes the body into out, returning the status.
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// resolveOK posts an incremental resolve and requires 200.
+func resolveOK(t *testing.T, ts *httptest.Server, req IncrementalResolveRequest) IncrementalResolveResponse {
+	t.Helper()
+	var out IncrementalResolveResponse
+	if code := postJSON(t, ts, "/v1/resolve/incremental", req, &out); code != http.StatusOK {
+		t.Fatalf("incremental resolve = %d", code)
+	}
+	return out
+}
+
+func TestReadEndpointsServeCommittedResolution(t *testing.T) {
+	ts := testServer(t, Config{})
+	col := testCollection(t, 24)
+
+	// Before any committed resolution the read path answers 409, not
+	// empty results.
+	var errOut errorResponse
+	if code := getJSON(t, ts, "/v1/docs/rivera:0/entity", &errOut); code != http.StatusConflict {
+		t.Fatalf("pre-commit doc lookup = %d, want 409 (%+v)", code, errOut)
+	}
+	if code := getJSON(t, ts, "/v1/search?name=rivera", &errOut); code != http.StatusConflict {
+		t.Fatalf("pre-commit search = %d, want 409", code)
+	}
+
+	ingestCollection(t, ts, col)
+	resolveOK(t, ts, IncrementalResolveRequest{})
+
+	// Every ingested document answers with the cluster that contains it.
+	var byDoc EntityResponse
+	if code := getJSON(t, ts, "/v1/docs/rivera:0/entity", &byDoc); code != http.StatusOK {
+		t.Fatalf("doc lookup = %d", code)
+	}
+	if byDoc.Entity == nil || byDoc.Entity.ID == "" {
+		t.Fatalf("doc lookup returned no entity: %+v", byDoc)
+	}
+	found := false
+	for _, m := range byDoc.Entity.Members {
+		if m.Collection == "rivera" && m.Pos == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cluster %q does not contain (rivera, 0): %+v", byDoc.Entity.ID, byDoc.Entity.Members)
+	}
+
+	// The stable ID round-trips through /v1/entities/{id}.
+	var byID EntityResponse
+	if code := getJSON(t, ts, "/v1/entities/"+byDoc.Entity.ID, &byID); code != http.StatusOK {
+		t.Fatalf("entity lookup = %d", code)
+	}
+	if byID.Entity.ID != byDoc.Entity.ID || len(byID.Entity.Members) != len(byDoc.Entity.Members) {
+		t.Fatalf("entity lookup disagrees with doc lookup: %+v vs %+v", byID.Entity, byDoc.Entity)
+	}
+	if byID.Epoch != byDoc.Epoch || byID.StoreVersion != byDoc.StoreVersion {
+		t.Errorf("epoch/version mismatch: %+v vs %+v", byID, byDoc)
+	}
+
+	// Search by the collection name finds the block's clusters.
+	var search SearchResponse
+	if code := getJSON(t, ts, "/v1/search?name=rivera", &search); code != http.StatusOK {
+		t.Fatalf("search = %d", code)
+	}
+	if len(search.Hits) == 0 {
+		t.Fatal("search for the ingested name found nothing")
+	}
+	for _, h := range search.Hits {
+		if h.Matched < 1 || h.Entity == nil {
+			t.Fatalf("bad hit: %+v", h)
+		}
+	}
+
+	// Misses and malformed requests.
+	if code := getJSON(t, ts, "/v1/entities/no-such-id", &errOut); code != http.StatusNotFound {
+		t.Errorf("unknown entity = %d, want 404", code)
+	}
+	if code := getJSON(t, ts, "/v1/docs/rivera:9999/entity", &errOut); code != http.StatusNotFound {
+		t.Errorf("out-of-range doc = %d, want 404", code)
+	}
+	if code := getJSON(t, ts, "/v1/docs/rivera:abc/entity", &errOut); code != http.StatusBadRequest {
+		t.Errorf("non-numeric pos = %d, want 400", code)
+	}
+	if code := getJSON(t, ts, "/v1/docs/rivera/entity", &errOut); code != http.StatusBadRequest {
+		t.Errorf("ref without colon = %d, want 400", code)
+	}
+	if code := getJSON(t, ts, "/v1/search", &errOut); code != http.StatusBadRequest {
+		t.Errorf("search without name = %d, want 400", code)
+	}
+	if code := getJSON(t, ts, "/v1/search?name=rivera&limit=-2", &errOut); code != http.StatusBadRequest {
+		t.Errorf("negative limit = %d, want 400", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/entities/"+byDoc.Entity.ID, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST entity = %d, want 405", resp.StatusCode)
+	}
+
+	// /v1/stats reports the serving index, read counters and lookup
+	// latency observations.
+	var stats StatsResponse
+	if code := getJSON(t, ts, "/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if !stats.Serving.Available || stats.Serving.Epoch == 0 {
+		t.Errorf("serving report = %+v, want an available index", stats.Serving)
+	}
+	if stats.Serving.Docs != 24 || stats.Serving.Stale {
+		t.Errorf("serving report = %+v, want 24 docs, not stale", stats.Serving)
+	}
+	if stats.Reads.Entities < 1 || stats.Reads.Docs < 2 || stats.Reads.Search < 1 {
+		t.Errorf("read counters = %+v", stats.Reads)
+	}
+	if stats.Latency.Lookup.Count < 3 {
+		t.Errorf("lookup latency count = %d, want >= 3", stats.Latency.Lookup.Count)
+	}
+	if stats.Latency.Cluster.Count == 0 || stats.Latency.Block.Count == 0 {
+		t.Errorf("pipeline stage histograms empty: %+v", stats.Latency)
+	}
+}
+
+func TestReadCacheHitsAndInvalidation(t *testing.T) {
+	ts := testServer(t, Config{})
+	col := testCollection(t, 20)
+	ingestCollection(t, ts, col)
+	resolveOK(t, ts, IncrementalResolveRequest{})
+
+	readStats := func() ReadStats {
+		t.Helper()
+		var stats StatsResponse
+		if code := getJSON(t, ts, "/v1/stats", &stats); code != http.StatusOK {
+			t.Fatalf("stats = %d", code)
+		}
+		return stats.Reads
+	}
+
+	var first, second EntityResponse
+	if code := getJSON(t, ts, "/v1/docs/rivera:3/entity", &first); code != http.StatusOK {
+		t.Fatalf("doc lookup = %d", code)
+	}
+	before := readStats()
+	if before.CacheMisses < 1 || before.CacheSize < 1 {
+		t.Fatalf("first lookup did not populate the cache: %+v", before)
+	}
+	if code := getJSON(t, ts, "/v1/docs/rivera:3/entity", &second); code != http.StatusOK {
+		t.Fatalf("repeat doc lookup = %d", code)
+	}
+	after := readStats()
+	if after.CacheHits != before.CacheHits+1 {
+		t.Fatalf("repeat lookup was not a cache hit: %+v -> %+v", before, after)
+	}
+	if first.Epoch != second.Epoch || first.Entity.ID != second.Entity.ID {
+		t.Fatalf("cached answer diverges: %+v vs %+v", first, second)
+	}
+
+	// A committed ingest batch clears the cache through the append
+	// subscription, even before any re-resolve.
+	ingestCollection(t, ts, &corpus.Collection{
+		Name: "rivera", NumPersonas: col.NumPersonas,
+		Docs: []corpus.Document{{ID: 0, URL: "http://example.com/late", Text: "late doc", PersonaID: 0}},
+	})
+	if n := readStats().CacheSize; n != 0 {
+		t.Fatalf("cache size after ingest commit = %d, want 0", n)
+	}
+
+	// Re-resolving publishes a new epoch; the same lookup re-renders
+	// against it rather than serving the old epoch's body.
+	resolveOK(t, ts, IncrementalResolveRequest{})
+	var third EntityResponse
+	if code := getJSON(t, ts, "/v1/docs/rivera:3/entity", &third); code != http.StatusOK {
+		t.Fatalf("post-resolve lookup = %d", code)
+	}
+	if third.Epoch <= first.Epoch {
+		t.Fatalf("epoch did not advance: %d -> %d", first.Epoch, third.Epoch)
+	}
+}
+
+// TestServingRestartServesWithZeroRecompute is the restart half of the
+// serving contract: a new server over the same data directory publishes
+// the persisted serving index at construction and answers entity lookups
+// immediately — no resolve, no pipeline run, zero recompute.
+func TestServingRestartServesWithZeroRecompute(t *testing.T) {
+	dir := t.TempDir()
+	data1, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(Config{Store: data1.Store, Serving: data1.Serving})
+	ts1 := httptest.NewServer(srv1.Handler())
+	ingestCollection(t, ts1, testCollection(t, 20))
+	resolveOK(t, ts1, IncrementalResolveRequest{})
+
+	var before EntityResponse
+	if code := getJSON(t, ts1, "/v1/docs/rivera:5/entity", &before); code != http.StatusOK {
+		t.Fatalf("pre-restart lookup = %d", code)
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := data1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the directory as a "restarted" process.
+	data2, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer data2.Close()
+	srv2 := New(Config{Store: data2.Store, Serving: data2.Serving})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv2.Close(ctx); err != nil {
+			t.Errorf("closing restarted server: %v", err)
+		}
+	}()
+
+	var stats StatsResponse
+	if code := getJSON(t, ts2, "/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if !stats.Serving.Available {
+		t.Fatal("restarted server has no serving index before any resolve")
+	}
+	if stats.Resolve.Runs != 0 || stats.Latency.Cluster.Count != 0 {
+		t.Fatalf("restarted server recomputed: %+v", stats.Resolve)
+	}
+	var after EntityResponse
+	if code := getJSON(t, ts2, "/v1/docs/rivera:5/entity", &after); code != http.StatusOK {
+		t.Fatalf("post-restart lookup = %d", code)
+	}
+	if after.Entity.ID != before.Entity.ID || len(after.Entity.Members) != len(before.Entity.Members) {
+		t.Fatalf("restart changed the answer: %+v vs %+v", after.Entity, before.Entity)
+	}
+	if code := getJSON(t, ts2, "/v1/entities/"+before.Entity.ID, &after); code != http.StatusOK {
+		t.Fatalf("post-restart entity lookup = %d", code)
+	}
+}
+
+// TestReadAfterCommitConsistency interleaves ingest batches, incremental
+// resolves and concurrent entity lookups (run it with -race). The pinned
+// invariant is the staleness contract: a lookup must never observe a
+// cluster referencing a document position beyond the store snapshot the
+// serving index was built from — the response's store_version bounds every
+// member position it may mention.
+func TestReadAfterCommitConsistency(t *testing.T) {
+	shared := store.NewMemStore()
+	// docsAt maps store version -> total docs committed at that version;
+	// the subscription fires after each commit, in order.
+	var docsMu sync.Mutex
+	docsAt := map[uint64]int{0: 0}
+	shared.SubscribeAppend(func(ev store.AppendEvent) {
+		docsMu.Lock()
+		docsAt[ev.Stats.Version] = ev.Stats.Docs
+		docsMu.Unlock()
+	})
+
+	ts := testServer(t, Config{Store: shared})
+	col := testCollection(t, 40)
+
+	const batches = 8
+	per := len(col.Docs) / batches
+	ingestCollection(t, ts, &corpus.Collection{
+		Name: col.Name, Docs: col.Docs[:per], NumPersonas: col.NumPersonas,
+	})
+	resolveOK(t, ts, IncrementalResolveRequest{})
+
+	checkEntity := func(e *serving.Cluster, version uint64) error {
+		docsMu.Lock()
+		limit, known := docsAt[version]
+		docsMu.Unlock()
+		if !known {
+			return fmt.Errorf("response claims unknown store version %d", version)
+		}
+		for _, m := range e.Members {
+			if m.Pos >= limit {
+				return fmt.Errorf("cluster %s references (%s, %d) but store version %d had only %d docs",
+					e.ID, m.Collection, m.Pos, version, limit)
+			}
+		}
+		return nil
+	}
+
+	done := make(chan struct{})
+	errCh := make(chan error, 8)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				pos := (w*13 + i) % len(col.Docs)
+				resp, err := client.Get(fmt.Sprintf("%s/v1/docs/rivera:%d/entity", ts.URL, pos))
+				if err != nil {
+					report(err)
+					return
+				}
+				var out EntityResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if decErr != nil {
+						report(decErr)
+						return
+					}
+					if err := checkEntity(out.Entity, out.StoreVersion); err != nil {
+						report(err)
+						return
+					}
+				case http.StatusNotFound:
+					// The document is beyond the served resolution — the
+					// contract's honest answer while ingest runs ahead.
+				default:
+					report(fmt.Errorf("doc lookup = %d", resp.StatusCode))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Writer: alternate ingest batches and incremental resolves while the
+	// readers hammer the hot index.
+	for b := 1; b < batches; b++ {
+		lo, hi := b*per, (b+1)*per
+		if b == batches-1 {
+			hi = len(col.Docs)
+		}
+		ingestCollection(t, ts, &corpus.Collection{
+			Name: col.Name, Docs: col.Docs[lo:hi], NumPersonas: col.NumPersonas,
+		})
+		resolveOK(t, ts, IncrementalResolveRequest{})
+	}
+	close(done)
+	readers.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// After the dust settles the last document is served.
+	var out EntityResponse
+	if code := getJSON(t, ts, fmt.Sprintf("/v1/docs/rivera:%d/entity", len(col.Docs)-1), &out); code != http.StatusOK {
+		t.Fatalf("final doc lookup = %d", code)
+	}
+	if err := checkEntity(out.Entity, out.StoreVersion); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/eval"
 	"repro/internal/pipeline"
+	"repro/internal/serving"
 	"repro/internal/store"
 )
 
@@ -79,6 +80,18 @@ type Config struct {
 	// version-skewed saved snapshot degrades that run to a full
 	// resolution (results stay correct) and is reported through ErrorLog.
 	Snapshots SnapshotStore
+	// Serving optionally persists the hot serving index
+	// (internal/persist.ServingDir is the disk implementation). When set,
+	// every committed incremental run saves its serving index, and the
+	// server publishes the most recently saved one at construction — so a
+	// restarted server answers entity lookups immediately, with zero
+	// recompute. A damaged saved index degrades to an empty read path
+	// until the next commit (lookups answer 409, never wrong data) and is
+	// reported through ErrorLog.
+	Serving ServingStore
+	// ReadCache bounds the read path's LRU response cache in entries; zero
+	// selects 1024, negative disables the cache.
+	ReadCache int
 	// ErrorLog receives background persistence failures (snapshot
 	// save/load); nil selects log.Printf.
 	ErrorLog func(format string, args ...any)
@@ -129,6 +142,20 @@ type Server struct {
 	// counters are the /v1/stats per-stage counters.
 	counters counters
 
+	// serving is the hot read-path index: the last committed resolution,
+	// inverted for lookups. Swapped atomically by publishServing so the
+	// read handlers are lock-free; servingMu serializes publish (build +
+	// swap + save) and guards servingEpoch, the monotonic publish counter.
+	serving      atomic.Pointer[serving.Index]
+	servingMu    sync.Mutex
+	servingEpoch uint64
+
+	// readCache is the read path's LRU response cache; nil when disabled.
+	readCache *readCache
+
+	// latency holds the per-stage latency histograms /v1/stats reports.
+	latency stageHistograms
+
 	// warmCh coalesces ingest notifications for the background index
 	// warmer; closeCh stops it, warmDone (nil when no warmer runs) is
 	// closed when it has fully exited — Close joins on it so no index
@@ -144,6 +171,10 @@ type counters struct {
 	runs, blocks, reused, prepared, trivial atomic.Int64
 	deltaDocs, dirtyBlocks                  atomic.Int64
 	ingestBatches                           atomic.Int64
+	// Read-path counters: per-endpoint request counts and response-cache
+	// traffic.
+	readEntities, readDocs, readSearch atomic.Int64
+	cacheHits, cacheMisses             atomic.Int64
 	// Degradation counters: every event where the server kept serving by
 	// giving something up — a panicking handler answered 500, ingest was
 	// throttled, persisted state failed to load (rebuilt from the corpus)
@@ -152,6 +183,7 @@ type counters struct {
 	panics, ingestThrottled                    atomic.Int64
 	snapshotLoadFailures, snapshotSaveFailures atomic.Int64
 	indexLoadFailures, indexSaveFailures       atomic.Int64
+	servingLoadFailures, servingSaveFailures   atomic.Int64
 }
 
 // indexEntry is one shared blocking index plus its persistence
@@ -238,13 +270,37 @@ func New(cfg Config) *Server {
 	if s.store == nil {
 		s.store = store.NewMemStore()
 	}
+	if cfg.ReadCache >= 0 {
+		size := cfg.ReadCache
+		if size == 0 {
+			size = 1024
+		}
+		s.readCache = newReadCache(size)
+	}
+	// Publish the most recently persisted serving index before taking any
+	// traffic: a restarted -data server answers entity lookups for the
+	// last committed resolution immediately, with zero recompute. A
+	// damaged file degrades to an empty read path (409s) until the next
+	// commit — never wrong data.
+	if cfg.Serving != nil {
+		if x, err := cfg.Serving.LoadLatestServing(); err != nil {
+			s.counters.servingLoadFailures.Add(1)
+			cfg.ErrorLog("service: loading persisted serving index: %v", err)
+		} else if x != nil {
+			s.servingEpoch = x.Epoch()
+			s.serving.Store(x)
+		}
+	}
 	// Ingest notifies the index maintainers: each committed batch kicks
 	// the background warmer, which feeds the delta to every live blocking
 	// index off the resolve path — so the next incremental resolve finds
-	// the corpus already keyed and blocked.
+	// the corpus already keyed and blocked. The same event invalidates the
+	// read path's response cache: cached renders never outlive the store
+	// state they were correct for.
 	if obs, ok := s.store.(store.AppendObserver); ok {
-		obs.SubscribeAppend(func(store.Stats) {
+		obs.SubscribeAppend(func(store.AppendEvent) {
 			s.counters.ingestBatches.Add(1)
+			s.readCache.clear()
 			select {
 			case s.warmCh <- struct{}{}:
 			default: // a warm round is already pending; it will see this batch too
@@ -349,6 +405,9 @@ func (s *Server) Close(ctx context.Context) error {
 //	POST /v1/collections          enqueue documents into the store
 //	GET  /v1/jobs/{id}            ingest job status and result
 //	POST /v1/resolve/incremental  resolve the store, reusing clean blocks
+//	GET  /v1/entities/{id}        cluster members by stable entity ID
+//	GET  /v1/docs/{ref}/entity    which cluster a store document is in
+//	GET  /v1/search?name=         name tokens → candidate clusters
 //	GET  /v1/stats                per-stage counters and index shapes
 //	GET  /healthz                 liveness plus store stats
 //	GET  /readyz                  readiness (the server exists ⇒ replay done)
@@ -363,6 +422,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/resolve/incremental", s.handleResolveIncremental)
 	mux.HandleFunc("/v1/collections", s.handleCollections)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/entities/", s.handleEntity)
+	mux.HandleFunc("/v1/docs/", s.handleDocEntity)
+	mux.HandleFunc("/v1/search", s.handleSearch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "store": s.store.Stats()})
@@ -669,7 +731,7 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	pl, score, err := buildPipeline(req.resolveKnobs, nil)
+	pl, score, err := buildPipeline(req.resolveKnobs, nil, s.observeStage)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -776,7 +838,7 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	pl, score, err := buildPipeline(req.resolveKnobs, blocker)
+	pl, score, err := buildPipeline(req.resolveKnobs, blocker, s.observeStage)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -842,6 +904,11 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 		return
 	}
 	state.snap = inc.Snapshot
+	// Commit hook: invert this run into the hot serving index (reusing the
+	// clean blocks' materializations), swap it in for lock-free reads, and
+	// persist it — all before the resolve is acknowledged, so a client that
+	// saw the response can immediately GET the clusters it describes.
+	s.publishServing(state.key, cols, version, inc)
 	s.persistIndex(indexEntry, false)
 	s.counters.runs.Add(1)
 	s.counters.blocks.Add(int64(inc.Stats.Blocks))
@@ -1122,6 +1189,16 @@ type StatsResponse struct {
 	// Blocking aggregates block-stage reuse and lists every live sharded
 	// index with its shard balance.
 	Blocking BlockingStatsReport `json:"blocking"`
+	// Serving describes the hot read-path index: which committed
+	// resolution reads are served from, and how stale it is relative to
+	// the live store.
+	Serving ServingReport `json:"serving"`
+	// Reads aggregates the read path's per-endpoint counters and its
+	// response-cache traffic.
+	Reads ReadStats `json:"reads"`
+	// Latency holds the per-stage latency histograms: the four pipeline
+	// stages plus the read-path lookup.
+	Latency LatencyReport `json:"latency"`
 	// SnapshotStates is the number of resolution configurations holding an
 	// incremental snapshot.
 	SnapshotStates int `json:"snapshot_states"`
@@ -1151,6 +1228,12 @@ type DegradedStats struct {
 	SnapshotSaveFailures int64 `json:"snapshot_save_failures"`
 	IndexLoadFailures    int64 `json:"index_load_failures"`
 	IndexSaveFailures    int64 `json:"index_save_failures"`
+	// QuarantinedServing counts damaged persisted serving indexes renamed
+	// aside; ServingLoadFailures/ServingSaveFailures degrade only the
+	// restart head-start of the read path.
+	QuarantinedServing  int64 `json:"quarantined_serving"`
+	ServingLoadFailures int64 `json:"serving_load_failures"`
+	ServingSaveFailures int64 `json:"serving_save_failures"`
 	// Panics is how many handler panics the recovery middleware answered
 	// as JSON 500s.
 	Panics int64 `json:"panics"`
@@ -1174,6 +1257,8 @@ func (s *Server) degradedStats() DegradedStats {
 		SnapshotSaveFailures: s.counters.snapshotSaveFailures.Load(),
 		IndexLoadFailures:    s.counters.indexLoadFailures.Load(),
 		IndexSaveFailures:    s.counters.indexSaveFailures.Load(),
+		ServingLoadFailures:  s.counters.servingLoadFailures.Load(),
+		ServingSaveFailures:  s.counters.servingSaveFailures.Load(),
 		Panics:               s.counters.panics.Load(),
 		IngestThrottled:      s.counters.ingestThrottled.Load(),
 	}
@@ -1185,6 +1270,9 @@ func (s *Server) degradedStats() DegradedStats {
 	}
 	if r, ok := s.cfg.Indexes.(quarantineReporter); ok {
 		d.QuarantinedIndexes = r.Quarantined()
+	}
+	if r, ok := s.cfg.Serving.(quarantineReporter); ok {
+		d.QuarantinedServing = r.Quarantined()
 	}
 	return d
 }
@@ -1248,8 +1336,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	states := len(s.states)
 	s.statesMu.Unlock()
 
+	storeStats := s.store.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Store:  s.store.Stats(),
+		Store:  storeStats,
 		Queue:  QueueStats{Depth: s.jobs.Depth()},
 		Ingest: IngestStats{Batches: s.counters.ingestBatches.Load()},
 		Resolve: ResolveStats{
@@ -1264,6 +1353,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DirtyBlocks: s.counters.dirtyBlocks.Load(),
 			Indexes:     reports,
 		},
+		Serving:        s.servingReport(storeStats.Version),
+		Reads:          s.readStats(),
+		Latency:        s.latencyReport(),
 		SnapshotStates: states,
 		Degraded:       s.degradedStats(),
 	})
@@ -1291,7 +1383,8 @@ func writeRunError(w http.ResponseWriter, err error, timeout time.Duration) bool
 // endpoint passes its store-bound shared index; the one-shot endpoint
 // passes nil and gets a stateless per-request blocker, since arbitrary
 // posted corpora must never feed a store-bound index.
-func buildPipeline(req resolveKnobs, blocker pipeline.Blocker) (*pipeline.Pipeline, bool, error) {
+func buildPipeline(req resolveKnobs, blocker pipeline.Blocker,
+	observe func(stage string, d time.Duration)) (*pipeline.Pipeline, bool, error) {
 	opts := core.DefaultOptions()
 	if req.TrainFraction != 0 {
 		opts.TrainFraction = req.TrainFraction
@@ -1310,7 +1403,7 @@ func buildPipeline(req resolveKnobs, blocker pipeline.Blocker) (*pipeline.Pipeli
 		opts.Clustering = m
 	}
 
-	cfg := pipeline.Config{Options: opts}
+	cfg := pipeline.Config{Options: opts, Observe: observe}
 	if req.Strategy != "" {
 		strat, err := pipeline.ParseStrategy(req.Strategy)
 		if err != nil {

@@ -1,0 +1,162 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// servingMagic heads every encoded serving index; the digit is the format
+// version.
+const servingMagic = "ERSVI001"
+
+// ErrCodecVersion reports an encoded serving index from an unsupported
+// format version; ErrCodecCorrupt reports structural damage. Callers treat
+// both as "no usable snapshot": correctness never depends on the encoded
+// form — the index rebuilds on the next committed resolve — only the
+// restart head-start does.
+var (
+	ErrCodecVersion = errors.New("serving: unsupported serving index format version")
+	ErrCodecCorrupt = errors.New("serving: encoded serving index is corrupt")
+)
+
+// crcTable is the Castagnoli table, matching the persist layer's journal.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodedIndex is the gob payload: the per-block primary state plus the
+// snapshot geometry its refs point into. The top-level inverted maps (doc
+// table, token postings, ID map) are derived state, reassembled on decode.
+type encodedIndex struct {
+	Epoch        uint64
+	StoreVersion uint64
+	Knobs        string
+	ColNames     []string
+	ColDocs      []int
+	Blocks       []encodedBlock
+}
+
+type encodedBlock struct {
+	FP       uint64
+	Name     string
+	Tokens   []string
+	Clusters []encodedCluster
+}
+
+type encodedCluster struct {
+	Label  int
+	Source string
+	Score  *Score
+	Refs   []DocRef
+	URLs   []string
+}
+
+// EncodeTo writes the index in its versioned, checksummed wire form.
+func (x *Index) EncodeTo(w io.Writer) error {
+	enc := encodedIndex{
+		Epoch:        x.epoch,
+		StoreVersion: x.storeVersion,
+		Knobs:        x.knobs,
+		ColNames:     x.colNames,
+		ColDocs:      x.colDocs,
+		Blocks:       make([]encodedBlock, len(x.order)),
+	}
+	for i, st := range x.order {
+		eb := encodedBlock{FP: st.fp, Name: st.name, Tokens: st.tokens,
+			Clusters: make([]encodedCluster, len(st.clusters))}
+		for j, c := range st.clusters {
+			ec := encodedCluster{Label: c.Label, Source: c.Source, Score: c.Score,
+				Refs: make([]DocRef, len(c.Members)), URLs: make([]string, len(c.Members))}
+			for k, m := range c.Members {
+				ec.Refs[k] = m.ref
+				ec.URLs[k] = m.URL
+			}
+			eb.Clusters[j] = ec
+		}
+		enc.Blocks[i] = eb
+	}
+
+	if _, err := io.WriteString(w, servingMagic); err != nil {
+		return fmt.Errorf("serving: writing header: %w", err)
+	}
+	crc := crc32.New(crcTable)
+	if err := gob.NewEncoder(io.MultiWriter(w, crc)).Encode(enc); err != nil {
+		return fmt.Errorf("serving: encoding index: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("serving: writing checksum: %w", err)
+	}
+	return nil
+}
+
+// Decode reads an index written by EncodeTo and reassembles its derived
+// lookup state. The decoded index is immutable and lookup-ready, exactly as
+// if freshly built.
+func Decode(r io.Reader) (*Index, error) {
+	header := make([]byte, len(servingMagic))
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrCodecCorrupt, err)
+	}
+	if string(header) != servingMagic {
+		if string(header[:5]) == servingMagic[:5] {
+			return nil, fmt.Errorf("%w: %q", ErrCodecVersion, header)
+		}
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCodecCorrupt, header)
+	}
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrCodecCorrupt, err)
+	}
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: payload shorter than its checksum", ErrCodecCorrupt)
+	}
+	payload, sum := body[:len(body)-4], binary.LittleEndian.Uint32(body[len(body)-4:])
+	if got := crc32.Checksum(payload, crcTable); got != sum {
+		return nil, fmt.Errorf("%w: checksum %08x, trailer declares %08x", ErrCodecCorrupt, got, sum)
+	}
+	var enc encodedIndex
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&enc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodecCorrupt, err)
+	}
+
+	if len(enc.ColNames) != len(enc.ColDocs) {
+		return nil, fmt.Errorf("%w: %d collection names but %d doc counts", ErrCodecCorrupt, len(enc.ColNames), len(enc.ColDocs))
+	}
+	states := make([]*blockState, len(enc.Blocks))
+	for i, eb := range enc.Blocks {
+		st := &blockState{fp: eb.FP, name: eb.Name, tokens: eb.Tokens}
+		for _, ec := range eb.Clusters {
+			if len(ec.Refs) != len(ec.URLs) {
+				return nil, fmt.Errorf("%w: cluster %s has %d refs but %d urls",
+					ErrCodecCorrupt, ClusterID(eb.FP, ec.Label), len(ec.Refs), len(ec.URLs))
+			}
+			members := make([]Member, len(ec.Refs))
+			for k, ref := range ec.Refs {
+				if ref.Col < 0 || ref.Col >= len(enc.ColNames) {
+					return nil, fmt.Errorf("%w: member references collection %d of %d", ErrCodecCorrupt, ref.Col, len(enc.ColNames))
+				}
+				if ref.Doc < 0 || ref.Doc >= enc.ColDocs[ref.Col] {
+					return nil, fmt.Errorf("%w: member references doc %d beyond collection %q's %d docs",
+						ErrCodecCorrupt, ref.Doc, enc.ColNames[ref.Col], enc.ColDocs[ref.Col])
+				}
+				members[k] = Member{Collection: enc.ColNames[ref.Col], Pos: ref.Doc, URL: ec.URLs[k], ref: ref}
+			}
+			st.clusters = append(st.clusters, &Cluster{
+				ID:      ClusterID(eb.FP, ec.Label),
+				Block:   eb.Name,
+				Label:   ec.Label,
+				Source:  ec.Source,
+				Members: members,
+				Score:   ec.Score,
+				fp:      eb.FP,
+			})
+		}
+		states[i] = st
+	}
+	return assemble(enc.Epoch, enc.StoreVersion, enc.Knobs, enc.ColNames, enc.ColDocs, states), nil
+}

@@ -1,0 +1,345 @@
+package serving
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+)
+
+// fixture builds two collections and one resolved block per collection:
+// smith's six docs split into clusters {0,1,2}/{3,4}/{5}, jones's four
+// docs into {0,1}/{2,3}.
+func fixture() ([]*corpus.Collection, []BlockResolution) {
+	cols := []*corpus.Collection{
+		{Name: "smith", Docs: make([]corpus.Document, 6)},
+		{Name: "jones", Docs: make([]corpus.Document, 4)},
+	}
+	for _, col := range cols {
+		for i := range col.Docs {
+			col.Docs[i].ID = i
+			col.Docs[i].URL = fmt.Sprintf("http://example.com/%s/%d", col.Name, i)
+		}
+	}
+	blocks := []BlockResolution{
+		{
+			Fingerprint: 0xAAAA,
+			Name:        "smith",
+			Members:     []DocRef{{Col: 0, Doc: 0}, {Col: 0, Doc: 1}, {Col: 0, Doc: 2}, {Col: 0, Doc: 3}, {Col: 0, Doc: 4}, {Col: 0, Doc: 5}},
+			Resolution:  &core.Resolution{Labels: []int{0, 0, 0, 1, 1, 2}, Source: "test"},
+			Score:       &eval.Result{Fp: 0.9, F: 0.8, Rand: 0.85},
+		},
+		{
+			Fingerprint: 0xBBBB,
+			Name:        "jones",
+			Members:     []DocRef{{Col: 1, Doc: 0}, {Col: 1, Doc: 1}, {Col: 1, Doc: 2}, {Col: 1, Doc: 3}},
+			Resolution:  &core.Resolution{Labels: []int{0, 0, 1, 1}, Source: "test"},
+		},
+	}
+	return cols, blocks
+}
+
+func TestBuildLookups(t *testing.T) {
+	cols, blocks := fixture()
+	x := Build(nil, 1, 10, "knobs", cols, blocks)
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Epoch() != 1 || x.StoreVersion() != 10 || x.Knobs() != "knobs" {
+		t.Fatalf("identity = (%d, %d, %q)", x.Epoch(), x.StoreVersion(), x.Knobs())
+	}
+	if x.Clusters() != 5 {
+		t.Fatalf("clusters = %d, want 5", x.Clusters())
+	}
+	if x.Docs() != 10 {
+		t.Fatalf("docs = %d, want 10", x.Docs())
+	}
+	if x.Blocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", x.Blocks())
+	}
+
+	c := x.DocEntity("smith", 4)
+	if c == nil {
+		t.Fatal("DocEntity(smith, 4) = nil")
+	}
+	if c.ID != ClusterID(0xAAAA, 1) {
+		t.Fatalf("cluster ID = %q, want %q", c.ID, ClusterID(0xAAAA, 1))
+	}
+	if len(c.Members) != 2 || c.Members[0].Pos != 3 || c.Members[1].Pos != 4 {
+		t.Fatalf("members = %+v", c.Members)
+	}
+	if c.Members[0].Collection != "smith" || c.Members[0].URL == "" {
+		t.Fatalf("member = %+v", c.Members[0])
+	}
+	if c.Score == nil || c.Score.F != 0.8 {
+		t.Fatalf("score = %+v", c.Score)
+	}
+	if got := x.Entity(c.ID); got != c {
+		t.Fatalf("Entity(%q) = %p, want %p", c.ID, got, c)
+	}
+
+	// Misses: unknown entity, unknown collection, position beyond the
+	// committed snapshot (the staleness contract's safe answer is nil).
+	if x.Entity("nope") != nil {
+		t.Fatal("Entity(nope) != nil")
+	}
+	if x.DocEntity("nope", 0) != nil {
+		t.Fatal("DocEntity on unknown collection != nil")
+	}
+	if x.DocEntity("smith", 6) != nil {
+		t.Fatal("DocEntity beyond snapshot != nil")
+	}
+	if x.DocEntity("smith", -1) != nil {
+		t.Fatal("DocEntity negative pos != nil")
+	}
+}
+
+func TestSearch(t *testing.T) {
+	cols, blocks := fixture()
+	x := Build(nil, 1, 10, "knobs", cols, blocks)
+
+	hits := x.Search("Smith", 0)
+	if len(hits) != 3 {
+		t.Fatalf("search smith: %d hits, want 3", len(hits))
+	}
+	// Equal match counts rank bigger clusters first.
+	if len(hits[0].Cluster.Members) != 3 || len(hits[1].Cluster.Members) != 2 || len(hits[2].Cluster.Members) != 1 {
+		t.Fatalf("hit sizes = %d, %d, %d", len(hits[0].Cluster.Members), len(hits[1].Cluster.Members), len(hits[2].Cluster.Members))
+	}
+	for _, h := range hits {
+		if h.Cluster.Block != "smith" || h.Matched != 1 {
+			t.Fatalf("hit = %+v", h)
+		}
+	}
+	if got := x.Search("smith", 2); len(got) != 2 {
+		t.Fatalf("limit 2 returned %d", len(got))
+	}
+	if got := x.Search("", 0); got != nil {
+		t.Fatalf("empty query returned %d hits", len(got))
+	}
+	if got := x.Search("unseen name", 0); len(got) != 0 {
+		t.Fatalf("unknown tokens returned %d hits", len(got))
+	}
+}
+
+func TestIncrementalReuse(t *testing.T) {
+	cols, blocks := fixture()
+	prev := Build(nil, 1, 10, "knobs", cols, blocks)
+	smith := prev.DocEntity("smith", 0)
+
+	// Jones grows a doc and re-resolves under a new fingerprint; smith's
+	// block is untouched.
+	cols[1].Docs = append(cols[1].Docs, corpus.Document{ID: 4, URL: "http://example.com/jones/4"})
+	next := blocks
+	next[1] = BlockResolution{
+		Fingerprint: 0xCCCC,
+		Name:        "jones",
+		Members:     []DocRef{{Col: 1, Doc: 0}, {Col: 1, Doc: 1}, {Col: 1, Doc: 2}, {Col: 1, Doc: 3}, {Col: 1, Doc: 4}},
+		Resolution:  &core.Resolution{Labels: []int{0, 0, 1, 1, 1}, Source: "test"},
+	}
+	x := Build(prev, 2, 11, "knobs", cols, next)
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The clean block's clusters are reused verbatim: same pointers, same
+	// stable IDs.
+	if got := x.DocEntity("smith", 0); got != smith {
+		t.Fatalf("clean block not reused: %p vs %p", got, smith)
+	}
+	if got := x.DocEntity("jones", 4); got == nil || got.ID != ClusterID(0xCCCC, 1) {
+		t.Fatalf("dirty block cluster = %+v", got)
+	}
+	if prev.DocEntity("jones", 4) != nil {
+		t.Fatal("previous index mutated by rebuild")
+	}
+
+	// A different configuration must not donate materializations even when
+	// fingerprints match.
+	y := Build(prev, 2, 11, "other-knobs", cols, next)
+	if got := y.DocEntity("smith", 0); got == smith {
+		t.Fatal("cross-knobs reuse")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	cols, blocks := fixture()
+	x := Build(nil, 3, 42, "knobs", cols, blocks)
+
+	var buf bytes.Buffer
+	if err := x.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := y.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if y.Epoch() != 3 || y.StoreVersion() != 42 || y.Knobs() != "knobs" {
+		t.Fatalf("identity = (%d, %d, %q)", y.Epoch(), y.StoreVersion(), y.Knobs())
+	}
+	if y.Clusters() != x.Clusters() || y.Docs() != x.Docs() || y.Blocks() != x.Blocks() {
+		t.Fatalf("shape = (%d, %d, %d), want (%d, %d, %d)",
+			y.Clusters(), y.Docs(), y.Blocks(), x.Clusters(), x.Docs(), x.Blocks())
+	}
+	want := x.DocEntity("smith", 4)
+	got := y.DocEntity("smith", 4)
+	if got == nil || got.ID != want.ID || len(got.Members) != len(want.Members) {
+		t.Fatalf("decoded lookup = %+v, want %+v", got, want)
+	}
+	if got.Members[1].URL != want.Members[1].URL {
+		t.Fatalf("URL = %q, want %q", got.Members[1].URL, want.Members[1].URL)
+	}
+	if got.Score == nil || got.Score.F != 0.8 {
+		t.Fatalf("score = %+v", got.Score)
+	}
+	if len(y.Search("jones", 0)) != len(x.Search("jones", 0)) {
+		t.Fatal("decoded search differs")
+	}
+}
+
+func TestCodecRejectsDamage(t *testing.T) {
+	cols, blocks := fixture()
+	x := Build(nil, 1, 10, "knobs", cols, blocks)
+	var buf bytes.Buffer
+	if err := x.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Decode(bytes.NewReader(flipped)); !errors.Is(err, ErrCodecCorrupt) {
+		t.Fatalf("bit flip: %v", err)
+	}
+
+	if _, err := Decode(bytes.NewReader(raw[:len(raw)-3])); !errors.Is(err, ErrCodecCorrupt) {
+		t.Fatalf("truncation: %v", err)
+	}
+
+	future := append([]byte(nil), raw...)
+	copy(future, "ERSVI999")
+	if _, err := Decode(bytes.NewReader(future)); !errors.Is(err, ErrCodecVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+
+	if _, err := Decode(bytes.NewReader([]byte("garbage!"))); !errors.Is(err, ErrCodecCorrupt) {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// benchIndex builds the benchmark corpus: 50 collections of 200 docs each,
+// every collection resolved into 20 clusters of 10.
+func benchIndex(b *testing.B) *Index {
+	b.Helper()
+	const (
+		ncols    = 50
+		docs     = 200
+		perClust = 10
+	)
+	cols := make([]*corpus.Collection, ncols)
+	blocks := make([]BlockResolution, ncols)
+	for ci := range cols {
+		name := fmt.Sprintf("person%03d", ci)
+		col := &corpus.Collection{Name: name, Docs: make([]corpus.Document, docs)}
+		members := make([]DocRef, docs)
+		labels := make([]int, docs)
+		for i := range col.Docs {
+			col.Docs[i].ID = i
+			col.Docs[i].URL = fmt.Sprintf("http://example.com/%s/%d", name, i)
+			members[i] = DocRef{Col: ci, Doc: i}
+			labels[i] = i / perClust
+		}
+		cols[ci] = col
+		blocks[ci] = BlockResolution{
+			Fingerprint: uint64(0x1000 + ci),
+			Name:        name,
+			Members:     members,
+			Resolution:  &core.Resolution{Labels: labels, Source: "bench"},
+		}
+	}
+	return Build(nil, 1, uint64(ncols*docs), "bench", cols, blocks)
+}
+
+// BenchmarkServingLookup measures the hot read path — doc→cluster then
+// entity-by-ID, the GET /v1/docs + GET /v1/entities sequence — and reports
+// lookups/s on one core (the loop is single-goroutine, so ns/op is
+// per-core cost directly).
+func BenchmarkServingLookup(b *testing.B) {
+	x := benchIndex(b)
+	names := make([]string, 50)
+	for i := range names {
+		names[i] = fmt.Sprintf("person%03d", i)
+	}
+	b.ResetTimer()
+	lookups := 0
+	for i := 0; i < b.N; i++ {
+		col := names[i%len(names)]
+		pos := (i * 7) % 200
+		c := x.DocEntity(col, pos)
+		if c == nil {
+			b.Fatalf("miss at (%s, %d)", col, pos)
+		}
+		if x.Entity(c.ID) != c {
+			b.Fatal("entity lookup mismatch")
+		}
+		lookups += 2
+	}
+	b.ReportMetric(float64(lookups)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkServingSearch measures the token-search path.
+func BenchmarkServingSearch(b *testing.B) {
+	x := benchIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := x.Search(fmt.Sprintf("person%03d", i%50), 5)
+		if len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+// BenchmarkServingRebuild measures an incremental rebuild where one block
+// of fifty is dirty — the per-commit cost the atomic swap hides from
+// readers.
+func BenchmarkServingRebuild(b *testing.B) {
+	x := benchIndex(b)
+	cols := make([]*corpus.Collection, 0, 50)
+	blocks := make([]BlockResolution, 0, 50)
+	for _, st := range x.order {
+		members := make([]DocRef, 0)
+		labels := make([]int, 0)
+		for _, c := range st.clusters {
+			for _, m := range c.Members {
+				members = append(members, m.ref)
+				labels = append(labels, c.Label)
+			}
+		}
+		blocks = append(blocks, BlockResolution{
+			Fingerprint: st.fp,
+			Name:        st.name,
+			Members:     members,
+			Resolution:  &core.Resolution{Labels: labels, Source: "bench"},
+		})
+		col := &corpus.Collection{Name: st.name, Docs: make([]corpus.Document, 200)}
+		cols = append(cols, col)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dirty := blocks
+		d := dirty[i%50]
+		d.Fingerprint = uint64(0x9000 + i)
+		dirty[i%50] = d
+		y := Build(x, uint64(i+2), x.StoreVersion(), "bench", cols, dirty)
+		if y.Clusters() != x.Clusters() {
+			b.Fatalf("clusters = %d, want %d", y.Clusters(), x.Clusters())
+		}
+		dirty[i%50] = blocks[i%50]
+	}
+}

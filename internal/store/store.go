@@ -50,15 +50,28 @@ type DocumentStore interface {
 	Stats() Stats
 }
 
+// AppendEvent describes one committed Append batch to subscribers: the
+// post-commit stats plus what the batch touched, so observers (serving
+// caches, index warmers) can invalidate precisely instead of guessing.
+type AppendEvent struct {
+	// Stats is the store's state right after the commit.
+	Stats Stats
+	// Touched names the collections the batch created or appended to, in
+	// batch order.
+	Touched []string
+	// Added is the number of documents the batch committed.
+	Added int
+}
+
 // AppendObserver is implemented by stores that can notify interested
 // parties — index maintainers, metrics — after a batch commits. The
 // callback runs outside the store's locks, after the commit it reports,
-// and receives the post-commit stats; callbacks must be fast or hand off
+// and receives the commit's event; callbacks must be fast or hand off
 // to their own goroutine. Under concurrent appends, notification order is
 // not guaranteed to match commit order — observers needing exact state
-// should re-read the store, not trust the carried stats to be newest.
+// should re-read the store, not trust the carried event to be newest.
 type AppendObserver interface {
-	SubscribeAppend(fn func(Stats))
+	SubscribeAppend(fn func(AppendEvent))
 }
 
 // memCollection is one named collection's mutable state.
@@ -75,11 +88,11 @@ type MemStore struct {
 	byName  map[string]*memCollection
 	version uint64
 	docs    int
-	subs    []func(Stats)
+	subs    []func(AppendEvent)
 }
 
 // SubscribeAppend implements AppendObserver.
-func (m *MemStore) SubscribeAppend(fn func(Stats)) {
+func (m *MemStore) SubscribeAppend(fn func(AppendEvent)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.subs = append(m.subs, fn)
@@ -122,6 +135,7 @@ func (m *MemStore) Append(cols []*corpus.Collection) (int, error) {
 	m.mu.Lock()
 	added := 0
 	mutated := false
+	touched := make([]string, 0, len(cols))
 	for _, col := range cols {
 		entry, ok := m.byName[col.Name]
 		if !ok {
@@ -130,6 +144,7 @@ func (m *MemStore) Append(cols []*corpus.Collection) (int, error) {
 			m.order = append(m.order, entry)
 			mutated = true
 		}
+		touched = append(touched, col.Name)
 		for _, d := range col.Docs {
 			label, seen := entry.personas[d.PersonaID]
 			if !seen {
@@ -146,7 +161,11 @@ func (m *MemStore) Append(cols []*corpus.Collection) (int, error) {
 		m.version++
 	}
 	m.docs += added
-	stats := Stats{Collections: len(m.order), Docs: m.docs, Version: m.version}
+	event := AppendEvent{
+		Stats:   Stats{Collections: len(m.order), Docs: m.docs, Version: m.version},
+		Touched: touched,
+		Added:   added,
+	}
 	subs := m.subs
 	m.mu.Unlock()
 
@@ -154,7 +173,7 @@ func (m *MemStore) Append(cols []*corpus.Collection) (int, error) {
 	// store (or trigger index maintenance that does) without deadlocking.
 	if added > 0 || mutated {
 		for _, fn := range subs {
-			fn(stats)
+			fn(event)
 		}
 	}
 	return added, nil
