@@ -12,7 +12,7 @@
 //	        [-train 0.10] [-regions 10] [-seed N] [-score] [-members]
 //	ersolve serve [-addr :8476] [-timeout 30s] [-max-body 33554432]
 //	        [-queue 64] [-drain 10s] [-data DIR] [-job-history 1024]
-//	        [-block-shards 16]
+//	        [-block-shards 16] [-read-cache 1024] [-trace-buffer 256]
 //
 // The serve mode accepts POST /v1/resolve with an ergen dataset JSON body
 // (plus optional "strategy", "clustering", "blocking", "timeout_ms", …
@@ -26,10 +26,12 @@
 // journaled (and fsynced) before they are acknowledged, snapshots are
 // saved after every incremental run, and a restarted server replays the
 // journal and reloads the snapshots — its first incremental resolution
-// reuses every block instead of re-preparing the corpus. On
-// SIGINT/SIGTERM the server drains in-flight requests and queued ingest
-// jobs for up to -drain before canceling what remains, then flushes and
-// closes the data directory.
+// reuses every block instead of re-preparing the corpus. GET /metrics
+// exposes every counter and latency histogram in the Prometheus text
+// format, and GET /v1/traces dumps the last -trace-buffer request traces
+// with per-stage pipeline spans. On SIGINT/SIGTERM the server drains
+// in-flight requests and queued ingest jobs for up to -drain before
+// canceling what remains, then flushes and closes the data directory.
 package main
 
 import (
@@ -203,6 +205,7 @@ func runServe(args []string) error {
 		dataDir = fs.String("data", "", "durable data directory (default in-memory only)")
 		shards  = fs.Int("block-shards", 0, "sharded blocking index partitions (0 = default)")
 		rcache  = fs.Int("read-cache", 0, "read-path response cache entries (0 = default 1024, negative disables)")
+		tbuf    = fs.Int("trace-buffer", 0, "recent request traces kept for GET /v1/traces (0 = default 256, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -216,6 +219,7 @@ func runServe(args []string) error {
 		JobHistory:     *history,
 		BlockShards:    *shards,
 		ReadCache:      *rcache,
+		TraceBuffer:    *tbuf,
 	}
 
 	// The listener comes up immediately with a bootstrap handler that

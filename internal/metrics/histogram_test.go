@@ -38,6 +38,66 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// bucketIndexRef is the pre-optimization reference: a linear scan over the
+// inclusive upper bounds. -1 means overflow.
+func bucketIndexRef(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	for i := range bucketBounds {
+		if d <= bucketBounds[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// bucketOf observes d into a fresh histogram and reports which bucket the
+// O(1) index computation chose (-1 = overflow).
+func bucketOf(t *testing.T, d time.Duration) int {
+	t.Helper()
+	var h Histogram
+	h.Observe(d)
+	if h.overflow.Load() == 1 {
+		return -1
+	}
+	for i := range h.counts {
+		if h.counts[i].Load() == 1 {
+			return i
+		}
+	}
+	t.Fatalf("Observe(%v) landed in no bucket", d)
+	return 0
+}
+
+// TestHistogramBucketBoundaries pins the O(1) bits.Len64 bucket index to
+// the linear-scan reference at every boundary: zero, each exact bucket
+// bound, one nanosecond past each bound, and overflow.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []time.Duration{0, 1, 999, 1000, 1001}
+	for i := range bucketBounds {
+		cases = append(cases, bucketBounds[i], bucketBounds[i]+1)
+	}
+	cases = append(cases, bucketBounds[histogramBuckets-1]*2, time.Hour, -time.Second)
+	for _, d := range cases {
+		want := bucketIndexRef(d)
+		if got := bucketOf(t, d); got != want {
+			t.Errorf("Observe(%v): bucket %d, want %d", d, got, want)
+		}
+	}
+	// Spot-check the exact-bound contract independently of the reference:
+	// a bound is inclusive, one nanosecond more spills into the next bucket.
+	if got := bucketOf(t, bucketBounds[7]); got != 7 {
+		t.Errorf("exact bound %v: bucket %d, want 7", bucketBounds[7], got)
+	}
+	if got := bucketOf(t, bucketBounds[7]+1); got != 8 {
+		t.Errorf("bound+1ns %v: bucket %d, want 8", bucketBounds[7]+1, got)
+	}
+	if got := bucketOf(t, bucketBounds[histogramBuckets-1]+1); got != -1 {
+		t.Errorf("past the last bound: bucket %d, want overflow", got)
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	var h Histogram
 	s := h.Snapshot()

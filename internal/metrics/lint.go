@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (NaN|[+-]?Inf|[+-]?[0-9].*)$`)
+	leRe     = regexp.MustCompile(`,?le="[^"]*"`)
+)
+
+// LintExposition validates text in the Prometheus exposition format
+// (version 0.0.4) and returns every violation found: malformed HELP, TYPE
+// or sample lines, samples preceding their family's TYPE line, duplicate
+// TYPE lines, histogram buckets that are not cumulative, and histogram
+// families whose +Inf bucket disagrees with _count. It exists for the
+// conformance tests — the registry's own renderer and any future emitter
+// are checked against one shared grammar.
+func LintExposition(text string) []string {
+	var problems []string
+	badf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	types := map[string]string{}
+	lastBucket := map[string]int64{} // family+labels (le stripped) -> last cumulative count
+	infSeen := map[string]int64{}
+	counts := map[string]int64{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpRe.MatchString(line) {
+				badf("malformed HELP line: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				badf("malformed TYPE line: %q", line)
+				continue
+			}
+			if _, dup := types[m[1]]; dup {
+				badf("duplicate TYPE for %s", m[1])
+			}
+			types[m[1]] = m[2]
+		case line == "":
+			badf("blank line in exposition")
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				badf("malformed sample line: %q", line)
+				continue
+			}
+			name, labels := m[1], m[2]
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if fam := strings.TrimSuffix(name, suffix); fam != name && types[fam] == "histogram" {
+					base = fam
+				}
+			}
+			if _, ok := types[base]; !ok {
+				badf("sample %q precedes its TYPE line", line)
+				continue
+			}
+			if base != name { // histogram sample
+				if strings.HasSuffix(name, "_sum") {
+					continue
+				}
+				val, err := strconv.ParseInt(m[3], 10, 64)
+				if err != nil {
+					badf("non-integer histogram count %q", line)
+					continue
+				}
+				key := base + leRe.ReplaceAllString(labels, "")
+				switch {
+				case strings.HasSuffix(name, "_bucket"):
+					if val < lastBucket[key] {
+						badf("bucket counts not cumulative at %q", line)
+					}
+					lastBucket[key] = val
+					if strings.Contains(labels, `le="+Inf"`) {
+						infSeen[key] = val
+					}
+				case strings.HasSuffix(name, "_count"):
+					counts[key] = val
+				}
+			}
+		}
+	}
+	for k, c := range counts {
+		inf, ok := infSeen[k]
+		if !ok {
+			badf("histogram %s has no +Inf bucket", k)
+		} else if inf != c {
+			badf("histogram %s: +Inf bucket %d != _count %d", k, inf, c)
+		}
+	}
+	return problems
+}

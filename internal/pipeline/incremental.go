@@ -134,7 +134,7 @@ func (p *Pipeline) RunIncremental(ctx context.Context, cols []*corpus.Collection
 	default:
 		return nil, fmt.Errorf("pipeline: incremental resolution requires a membership-reporting blocker, %T does not report membership", p.blocker)
 	}
-	p.observe(StageBlock, blockStart)
+	p.observe(StageBlock, "", blockStart)
 
 	results := make([]Result, len(blocks))
 	preps := make([]*core.Prepared, len(blocks))

@@ -78,10 +78,12 @@ type Config struct {
 	// ground truth and fills Result.Score.
 	Score bool
 	// Observe, when non-nil, receives the wall-clock duration of each
-	// instrumented stage execution (see the Stage constants). It is called
-	// concurrently from worker goroutines and must be fast and
-	// concurrency-safe — an atomic histogram, not a mutex-heavy sink.
-	Observe func(stage string, d time.Duration)
+	// instrumented stage execution (see the Stage constants) together with
+	// the block being processed — empty for StageBlock, which spans all
+	// blocks. It is called concurrently from worker goroutines and must be
+	// fast and concurrency-safe — an atomic histogram or a trace-span
+	// recorder, not a mutex-heavy sink.
+	Observe func(stage, block string, d time.Duration)
 }
 
 // Pipeline is an assembled, reusable resolution pipeline. It is safe for
@@ -94,7 +96,7 @@ type Pipeline struct {
 	workers  int
 	buffer   int
 	score    bool
-	observeF func(stage string, d time.Duration)
+	observeF func(stage, block string, d time.Duration)
 }
 
 // now returns the stage clock's reading, or the zero time when nothing
@@ -106,12 +108,12 @@ func (p *Pipeline) now() time.Time {
 	return time.Now()
 }
 
-// observe reports one stage execution that began at start.
-func (p *Pipeline) observe(stage string, start time.Time) {
+// observe reports one stage execution over block that began at start.
+func (p *Pipeline) observe(stage, block string, start time.Time) {
 	if p.observeF == nil || start.IsZero() {
 		return
 	}
-	p.observeF(stage, time.Since(start))
+	p.observeF(stage, block, time.Since(start))
 }
 
 // New validates the configuration and assembles the pipeline.
@@ -201,7 +203,7 @@ func (p *Pipeline) Run(ctx context.Context, cols []*corpus.Collection) ([]Result
 	if err != nil {
 		return nil, err
 	}
-	p.observe(StageBlock, blockStart)
+	p.observe(StageBlock, "", blockStart)
 	results := make([]Result, len(blocks))
 	todo := make([]int, len(blocks))
 	for i := range todo {
@@ -288,7 +290,7 @@ func (p *Pipeline) stream(ctx context.Context, blocks []*corpus.Collection, todo
 					fail(fmt.Errorf("pipeline: preparing block %q: %w", col.Name, err))
 					return
 				}
-				p.observe(StagePrepare, prepStart)
+				p.observe(StagePrepare, col.Name, prepStart)
 				if preps != nil {
 					preps[i] = prep
 				}
@@ -341,13 +343,13 @@ func (p *Pipeline) resolveBlock(idx int, col *corpus.Collection, prep *core.Prep
 	if err != nil {
 		return Result{}, err
 	}
-	p.observe(StageAnalyze, analyzeStart)
+	p.observe(StageAnalyze, col.Name, analyzeStart)
 	clusterStart := p.now()
 	res, err := p.strategy(a)
 	if err != nil {
 		return Result{}, err
 	}
-	p.observe(StageCluster, clusterStart)
+	p.observe(StageCluster, col.Name, clusterStart)
 	out := Result{Index: idx, Block: col, Resolution: res}
 	if p.score {
 		s, err := eval.Evaluate(res.Labels, col.GroundTruth())

@@ -1,0 +1,268 @@
+package service
+
+import (
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/tracing"
+)
+
+// degradedHelp is shared by the static and callback-backed members of the
+// ersolve_degraded_total family — the registry requires identical help
+// text for every series joining one family.
+const degradedHelp = "Events where the server kept serving by giving something up, by kind."
+
+// initObservability wires the metrics registry and the trace ring buffer.
+// Every lifetime counter the server owns is registered here, so /metrics
+// and /v1/stats read the same instruments; values owned elsewhere (the
+// job queue, the backing stores, the live indexes) are read at scrape
+// time through callback-backed families. Called once from New, before any
+// code path that can increment a counter.
+func (s *Server) initObservability() {
+	s.started = time.Now()
+	s.registry = metrics.NewRegistry()
+	if s.cfg.TraceBuffer >= 0 {
+		size := s.cfg.TraceBuffer
+		if size == 0 {
+			size = 256
+		}
+		s.traces = tracing.NewBuffer(size)
+	}
+
+	r := s.registry
+	c := &s.counters
+	c.runs = r.Counter("ersolve_resolve_runs_total", "Completed incremental resolve runs.")
+	c.blocks = r.Counter("ersolve_resolve_blocks_total", "Blocks seen by incremental resolve runs.")
+	const outcomeHelp = "Per-block incremental resolve outcomes, by outcome."
+	c.reused = r.Counter("ersolve_resolve_block_outcomes_total", outcomeHelp, "outcome", "reused")
+	c.prepared = r.Counter("ersolve_resolve_block_outcomes_total", outcomeHelp, "outcome", "prepared")
+	c.trivial = r.Counter("ersolve_resolve_block_outcomes_total", outcomeHelp, "outcome", "trivial")
+	c.deltaDocs = r.Counter("ersolve_blocking_delta_docs_total", "Documents keyed incrementally by the blocking indexes.")
+	c.dirtyBlocks = r.Counter("ersolve_blocking_dirty_blocks_total", "Blocks marked dirty by incremental index deltas.")
+	c.ingestBatches = r.Counter("ersolve_ingest_batches_total", "Committed ingest batches observed by the server.")
+
+	const readsHelp = "Read-path requests that reached the serving index, by endpoint."
+	c.readEntities = r.Counter("ersolve_reads_total", readsHelp, "endpoint", "entities")
+	c.readDocs = r.Counter("ersolve_reads_total", readsHelp, "endpoint", "docs")
+	c.readSearch = r.Counter("ersolve_reads_total", readsHelp, "endpoint", "search")
+	const cacheHelp = "Read-path response cache lookups, by result."
+	c.cacheHits = r.Counter("ersolve_read_cache_total", cacheHelp, "result", "hit")
+	c.cacheMisses = r.Counter("ersolve_read_cache_total", cacheHelp, "result", "miss")
+
+	c.panics = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "panics")
+	c.ingestThrottled = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "ingest_throttled")
+	c.snapshotLoadFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "snapshot_load_failures")
+	c.snapshotSaveFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "snapshot_save_failures")
+	c.indexLoadFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "index_load_failures")
+	c.indexSaveFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "index_save_failures")
+	c.servingLoadFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "serving_load_failures")
+	c.servingSaveFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "serving_save_failures")
+	// The backing stores count their own recoveries and quarantines; join
+	// them into the same family at scrape time.
+	r.CounterFunc("ersolve_degraded_total", degradedHelp, s.storeDegradationSamples)
+
+	const latencyHelp = "Stage wall-clock latency in seconds, by stage."
+	s.latency.block = r.Histogram("ersolve_stage_latency_seconds", latencyHelp, "stage", "block")
+	s.latency.prepare = r.Histogram("ersolve_stage_latency_seconds", latencyHelp, "stage", "prepare")
+	s.latency.analyze = r.Histogram("ersolve_stage_latency_seconds", latencyHelp, "stage", "analyze")
+	s.latency.cluster = r.Histogram("ersolve_stage_latency_seconds", latencyHelp, "stage", "cluster")
+	s.latency.lookup = r.Histogram("ersolve_stage_latency_seconds", latencyHelp, "stage", "lookup")
+
+	r.Gauge("ersolve_queue_depth", "Ingest jobs enqueued but not yet finished.",
+		func() float64 { return float64(s.jobs.Depth()) })
+	r.CounterFunc("ersolve_queue_jobs_total", "Lifetime ingest job totals, by event.", func() []metrics.Sample {
+		qc := s.jobs.Counters()
+		return []metrics.Sample{
+			{Labels: []string{"event", "enqueued"}, Value: float64(qc.Enqueued)},
+			{Labels: []string{"event", "done"}, Value: float64(qc.Done)},
+			{Labels: []string{"event", "failed"}, Value: float64(qc.Failed)},
+			{Labels: []string{"event", "canceled"}, Value: float64(qc.Canceled)},
+			{Labels: []string{"event", "retried"}, Value: float64(qc.Retried)},
+		}
+	})
+
+	r.Gauge("ersolve_store_docs", "Documents in the document store.",
+		func() float64 { return float64(s.store.Stats().Docs) })
+	r.Gauge("ersolve_store_collections", "Collections in the document store.",
+		func() float64 { return float64(s.store.Stats().Collections) })
+	r.Gauge("ersolve_store_version", "Committed ingest batches (the store version).",
+		func() float64 { return float64(s.store.Stats().Version) })
+
+	r.Gauge("ersolve_snapshot_states", "Resolution configurations holding an incremental snapshot.",
+		func() float64 {
+			s.statesMu.Lock()
+			defer s.statesMu.Unlock()
+			return float64(len(s.states))
+		})
+	r.Gauge("ersolve_read_cache_entries", "Entries in the read-path response cache.",
+		func() float64 { return float64(s.readCache.size()) })
+
+	r.Gauge("ersolve_serving_available", "Whether a serving index has been published (1) or reads answer 409 (0).",
+		func() float64 {
+			if s.serving.Load() != nil {
+				return 1
+			}
+			return 0
+		})
+	r.Gauge("ersolve_serving_epoch", "Publish counter of the hot serving index.",
+		func() float64 {
+			if x := s.serving.Load(); x != nil {
+				return float64(x.Epoch())
+			}
+			return 0
+		})
+	r.Gauge("ersolve_serving_store_version", "Store version the hot serving index was built from.",
+		func() float64 {
+			if x := s.serving.Load(); x != nil {
+				return float64(x.StoreVersion())
+			}
+			return 0
+		})
+	r.Gauge("ersolve_serving_clusters", "Clusters in the hot serving index.",
+		func() float64 {
+			if x := s.serving.Load(); x != nil {
+				return float64(x.Clusters())
+			}
+			return 0
+		})
+
+	r.GaugeFunc("ersolve_blocking_index_keys", "Distinct keys per blocking index shard.", func() []metrics.Sample {
+		var out []metrics.Sample
+		for _, e := range s.indexEntries() {
+			ib := e.blocker.Load()
+			if ib == nil {
+				continue
+			}
+			st := ib.Index().Stats()
+			for shard, keys := range st.ShardKeys {
+				out = append(out, metrics.Sample{
+					Labels: []string{"index", e.key, "shard", strconv.Itoa(shard)},
+					Value:  float64(keys),
+				})
+			}
+		}
+		return out
+	})
+	r.GaugeFunc("ersolve_blocking_index_docs", "Documents indexed per blocking index.", func() []metrics.Sample {
+		var out []metrics.Sample
+		for _, e := range s.indexEntries() {
+			if ib := e.blocker.Load(); ib != nil {
+				out = append(out, metrics.Sample{
+					Labels: []string{"index", e.key},
+					Value:  float64(ib.Index().Stats().Docs),
+				})
+			}
+		}
+		return out
+	})
+
+	r.Gauge("ersolve_uptime_seconds", "Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	r.Gauge("ersolve_build_info", "Build information; the value is always 1.",
+		func() float64 { return 1 }, "go_version", runtime.Version())
+}
+
+// storeDegradationSamples reads the degradation totals owned by the
+// backing stores — torn-tail journal recoveries and quarantined persisted
+// files — for the callback-backed half of the degraded family.
+func (s *Server) storeDegradationSamples() []metrics.Sample {
+	var out []metrics.Sample
+	if rep, ok := s.store.(tornTailReporter); ok {
+		out = append(out, metrics.Sample{
+			Labels: []string{"kind", "torn_tail_recoveries"},
+			Value:  float64(rep.TornTailRecoveries()),
+		})
+	}
+	for _, q := range []struct {
+		kind string
+		src  any
+	}{
+		{"quarantined_snapshots", s.cfg.Snapshots},
+		{"quarantined_indexes", s.cfg.Indexes},
+		{"quarantined_serving", s.cfg.Serving},
+	} {
+		if rep, ok := q.src.(quarantineReporter); ok {
+			out = append(out, metrics.Sample{
+				Labels: []string{"kind", q.kind},
+				Value:  float64(rep.Quarantined()),
+			})
+		}
+	}
+	return out
+}
+
+// stageObserver builds the pipeline.Config.Observe hook for one request:
+// every stage duration lands in the shared latency histograms and, when
+// the request is traced, also becomes a child span under the request's
+// root — annotated with the block it processed. The span's start time is
+// reconstructed from the duration, since the seam reports stages after
+// the fact.
+func (s *Server) stageObserver(tr *tracing.Active) func(stage, block string, d time.Duration) {
+	return func(stage, block string, d time.Duration) {
+		s.observeStage(stage, block, d)
+		if block != "" {
+			tr.Span(stage, time.Now().Add(-d), d, "block", block)
+		} else {
+			tr.Span(stage, time.Now().Add(-d), d)
+		}
+	}
+}
+
+// handleMetrics answers GET /metrics with the Prometheus text exposition
+// of every registered instrument.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.registry.WritePrometheus(w)
+}
+
+// TracesResponse is the GET /v1/traces reply: recent request traces,
+// newest first.
+type TracesResponse struct {
+	Traces []tracing.Trace `json:"traces"`
+}
+
+// handleTraces answers GET /v1/traces[?limit=N]: the most recently
+// finished request traces from the ring buffer, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodGet) {
+		return
+	}
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: "limit must be a positive integer"})
+			return
+		}
+		limit = n
+	}
+	traces := s.traces.Traces(limit)
+	if traces == nil {
+		traces = []tracing.Trace{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: traces})
+}
+
+// observeStage routes one pipeline stage duration into its latency
+// histogram; the block name (empty for the block stage, which spans all
+// blocks) is consumed by the tracing wrapper, not the histograms.
+func (s *Server) observeStage(stage, _ string, d time.Duration) {
+	switch stage {
+	case pipeline.StageBlock:
+		s.latency.block.Observe(d)
+	case pipeline.StagePrepare:
+		s.latency.prepare.Observe(d)
+	case pipeline.StageAnalyze:
+		s.latency.analyze.Observe(d)
+	case pipeline.StageCluster:
+		s.latency.cluster.Observe(d)
+	}
+}

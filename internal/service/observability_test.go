@@ -1,0 +1,215 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tracing"
+)
+
+// serverPair builds a server plus its test listener, keeping the *Server
+// reachable for instrument-level assertions.
+func serverPair(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+// scrapeMetrics GETs /metrics and returns the exposition text.
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text exposition v0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// sampleValue extracts one sample's value from the exposition by its
+// exact name-plus-labels prefix.
+func sampleValue(t *testing.T, text, sample string) float64 {
+	t.Helper()
+	re := regexp.MustCompile("(?m)^" + regexp.QuoteMeta(sample) + " (.*)$")
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("sample %q not found in exposition", sample)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("sample %q value %q: %v", sample, m[1], err)
+	}
+	return v
+}
+
+// TestMetricsExpositionConformance is the endpoint half of the /metrics
+// contract: after real traffic (ingest, incremental resolve, reads), the
+// scrape must parse under the shared exposition grammar, carry every
+// family /v1/stats reports, and agree with the JSON stats on the shared
+// instruments.
+func TestMetricsExpositionConformance(t *testing.T) {
+	srv, ts := serverPair(t, Config{})
+	ingestCollection(t, ts, testCollection(t, 24))
+	resolveOK(t, ts, IncrementalResolveRequest{})
+	var search SearchResponse
+	if code := getJSON(t, ts, "/v1/search?name=rivera", &search); code != http.StatusOK {
+		t.Fatalf("search = %d", code)
+	}
+	if code := getJSON(t, ts, "/v1/docs/rivera:0/entity", &struct{}{}); code != http.StatusOK {
+		t.Fatalf("doc lookup = %d", code)
+	}
+
+	text := scrapeMetrics(t, ts)
+	for _, p := range metrics.LintExposition(text) {
+		t.Error(p)
+	}
+
+	// Every stats section surfaces as a family.
+	for _, family := range []string{
+		"# TYPE ersolve_resolve_runs_total counter",
+		"# TYPE ersolve_resolve_block_outcomes_total counter",
+		"# TYPE ersolve_blocking_delta_docs_total counter",
+		"# TYPE ersolve_ingest_batches_total counter",
+		"# TYPE ersolve_reads_total counter",
+		"# TYPE ersolve_read_cache_total counter",
+		"# TYPE ersolve_degraded_total counter",
+		"# TYPE ersolve_stage_latency_seconds histogram",
+		"# TYPE ersolve_queue_depth gauge",
+		"# TYPE ersolve_queue_jobs_total counter",
+		"# TYPE ersolve_store_docs gauge",
+		"# TYPE ersolve_serving_available gauge",
+		"# TYPE ersolve_blocking_index_keys gauge",
+		"# TYPE ersolve_uptime_seconds gauge",
+		"# TYPE ersolve_build_info gauge",
+	} {
+		if !strings.Contains(text, family+"\n") {
+			t.Errorf("exposition missing %q", family)
+		}
+	}
+
+	if v := sampleValue(t, text, "ersolve_resolve_runs_total"); v != 1 {
+		t.Errorf("resolve runs = %g, want 1", v)
+	}
+	if v := sampleValue(t, text, `ersolve_reads_total{endpoint="search"}`); v != 1 {
+		t.Errorf("search reads = %g, want 1", v)
+	}
+	if v := sampleValue(t, text, `ersolve_queue_jobs_total{event="done"}`); v != 1 {
+		t.Errorf("done jobs = %g, want 1", v)
+	}
+	if v := sampleValue(t, text, "ersolve_serving_available"); v != 1 {
+		t.Errorf("serving available = %g, want 1", v)
+	}
+	if v := sampleValue(t, text, "ersolve_store_docs"); v != 24 {
+		t.Errorf("store docs = %g, want 24", v)
+	}
+	// The histogram count must agree with the /v1/stats snapshot of the
+	// same instrument: one registry, one truth.
+	want := srv.latency.lookup.Snapshot().Count
+	if got := sampleValue(t, text, `ersolve_stage_latency_seconds_count{stage="lookup"}`); int64(got) != want {
+		t.Errorf("lookup _count = %g, want %d (Snapshot().Count)", got, want)
+	}
+	if got := sampleValue(t, text, `ersolve_stage_latency_seconds_count{stage="cluster"}`); got < 1 {
+		t.Errorf("cluster _count = %g, want >= 1", got)
+	}
+}
+
+// TestResolveTraceSpans is the acceptance path for the tracing layer: one
+// incremental resolve must yield a trace in GET /v1/traces whose root is
+// the resolve and whose children include every pipeline stage, each
+// parented to the root span.
+func TestResolveTraceSpans(t *testing.T) {
+	_, ts := serverPair(t, Config{})
+	ingestCollection(t, ts, testCollection(t, 24))
+	resolveOK(t, ts, IncrementalResolveRequest{})
+
+	var out TracesResponse
+	if code := getJSON(t, ts, "/v1/traces", &out); code != http.StatusOK {
+		t.Fatalf("GET /v1/traces = %d", code)
+	}
+	var trace *tracing.Trace
+	for i := range out.Traces {
+		if out.Traces[i].Name == "resolve.incremental" {
+			trace = &out.Traces[i]
+			break
+		}
+	}
+	if trace == nil {
+		t.Fatalf("no resolve.incremental trace among %d traces", len(out.Traces))
+	}
+	if trace.ID == "" || trace.DurationMicros <= 0 {
+		t.Fatalf("trace header = %+v", trace)
+	}
+	root := trace.Spans[0]
+	if root.ID != tracing.RootSpanID || root.Parent != 0 {
+		t.Fatalf("root span = %+v", root)
+	}
+	attrs := map[string]string{}
+	for _, a := range root.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["store_version"] == "" || attrs["blocks"] == "" {
+		t.Errorf("root attrs missing store_version/blocks: %+v", root.Attrs)
+	}
+	stages := map[string]int{}
+	for _, s := range trace.Spans[1:] {
+		if s.Parent != tracing.RootSpanID {
+			t.Errorf("span %q parent = %d, want root", s.Name, s.Parent)
+		}
+		stages[s.Name]++
+	}
+	for _, stage := range []string{"block", "prepare", "analyze", "cluster"} {
+		if stages[stage] == 0 {
+			t.Errorf("trace has no %q child span (got %v)", stage, stages)
+		}
+	}
+
+	// limit caps the dump; bad limits answer 400.
+	if code := getJSON(t, ts, "/v1/traces?limit=1", &out); code != http.StatusOK || len(out.Traces) != 1 {
+		t.Fatalf("limit=1: code %d, %d traces", code, len(out.Traces))
+	}
+	if code := getJSON(t, ts, "/v1/traces?limit=0", &struct{}{}); code != http.StatusBadRequest {
+		t.Fatalf("limit=0 = %d, want 400", code)
+	}
+}
+
+// TestTracingDisabled pins the negative-TraceBuffer contract: requests
+// still work and the dump is empty, not an error.
+func TestTracingDisabled(t *testing.T) {
+	_, ts := serverPair(t, Config{TraceBuffer: -1})
+	ingestCollection(t, ts, testCollection(t, 12))
+	resolveOK(t, ts, IncrementalResolveRequest{})
+	var out TracesResponse
+	if code := getJSON(t, ts, "/v1/traces", &out); code != http.StatusOK {
+		t.Fatalf("GET /v1/traces = %d", code)
+	}
+	if len(out.Traces) != 0 {
+		t.Fatalf("disabled tracing returned %d traces", len(out.Traces))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/blocking"
 	"repro/internal/corpus"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
@@ -27,24 +28,11 @@ type ServingStore interface {
 }
 
 // stageHistograms are the per-stage latency histograms /v1/stats reports:
-// the four pipeline stages plus the read-path lookup.
+// the four pipeline stages plus the read-path lookup. All registry-backed
+// (initObservability), so the same instruments feed the Prometheus
+// exposition as the ersolve_stage_latency_seconds family.
 type stageHistograms struct {
-	block, prepare, analyze, cluster, lookup metrics.Histogram
-}
-
-// observeStage routes a pipeline stage duration into its histogram; it is
-// the pipeline.Config.Observe hook of every pipeline this server builds.
-func (s *Server) observeStage(stage string, d time.Duration) {
-	switch stage {
-	case pipeline.StageBlock:
-		s.latency.block.Observe(d)
-	case pipeline.StagePrepare:
-		s.latency.prepare.Observe(d)
-	case pipeline.StageAnalyze:
-		s.latency.analyze.Observe(d)
-	case pipeline.StageCluster:
-		s.latency.cluster.Observe(d)
-	}
+	block, prepare, analyze, cluster, lookup *metrics.Histogram
 }
 
 // publishServing materializes the committed run's serving index, swaps it
@@ -261,10 +249,15 @@ func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr := s.traces.Start("read.entity")
+	defer tr.End()
+	tr.SetAttr("id", id)
 	s.counters.readEntities.Add(1)
 	start := time.Now()
 	c := x.Entity(id)
-	s.latency.lookup.Observe(time.Since(start))
+	d := time.Since(start)
+	s.latency.lookup.Observe(d)
+	tr.Span("lookup", start, d)
 	if c == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown entity %q", id)})
 		return
@@ -298,20 +291,25 @@ func (s *Server) handleDocEntity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	collection, posStr := ref[:cut], ref[cut+1:]
-	pos, err := strconv.Atoi(posStr)
-	if err != nil || pos < 0 {
+	pos, okPos := parseCanonicalPos(posStr)
+	if !okPos {
 		writeJSON(w, http.StatusBadRequest,
-			errorResponse{Error: fmt.Sprintf("doc position %q is not a non-negative integer", posStr)})
+			errorResponse{Error: fmt.Sprintf("doc position %q is not a canonical non-negative integer (digits only, no leading zeros)", posStr)})
 		return
 	}
 	x, ok := s.hotIndex(w)
 	if !ok {
 		return
 	}
+	tr := s.traces.Start("read.doc")
+	defer tr.End()
+	tr.SetAttr("ref", ref)
 	s.counters.readDocs.Add(1)
 	start := time.Now()
 	c := x.DocEntity(collection, pos)
-	s.latency.lookup.Observe(time.Since(start))
+	d := time.Since(start)
+	s.latency.lookup.Observe(d)
+	tr.Span("lookup", start, d)
 	if c == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{
 			Error: fmt.Sprintf("document (%s, %d) is not in the served resolution (unknown, or ingested after store version %d)",
@@ -329,8 +327,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.URL.Query().Get("name")
-	if name == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "search needs a ?name= query"})
+	// Token-free queries (empty, whitespace-only, pure punctuation, or
+	// nothing but sub-minimum tokens) are rejected up front with one
+	// consistent 400: the serving index tokenizes exactly this way, so
+	// such a query could only ever run a zero-token search that matches
+	// nothing while still consuming a cache slot keyed by the raw string.
+	if name == "" || len(blocking.KeyTokens(name, 2)) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "search needs a ?name= query with at least one name token"})
 		return
 	}
 	limit := 0
@@ -347,10 +350,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr := s.traces.Start("read.search")
+	defer tr.End()
+	tr.SetAttr("name", name)
 	s.counters.readSearch.Add(1)
 	start := time.Now()
 	hits := x.Search(name, limit)
-	s.latency.lookup.Observe(time.Since(start))
+	d := time.Since(start)
+	s.latency.lookup.Observe(d)
+	tr.Span("lookup", start, d)
 	resp := SearchResponse{
 		Query:        name,
 		Hits:         make([]SearchHit, 0, len(hits)),
@@ -361,6 +369,28 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.Hits = append(resp.Hits, SearchHit{Matched: h.Matched, Entity: h.Cluster})
 	}
 	s.serveCached(w, "search\x00"+name+"\x00"+strconv.Itoa(limit), x.Epoch(), http.StatusOK, resp)
+}
+
+// parseCanonicalPos parses a document position in canonical decimal form:
+// ASCII digits only, no sign, no leading zeros (except "0" itself).
+// strconv.Atoi would also accept "+3" and "03" — spellings that name the
+// same document but produce distinct response-cache keys, aliasing one
+// document across several cache entries and letting a client mint
+// unbounded keys for one resource.
+func parseCanonicalPos(s string) (int, bool) {
+	if s == "" || (len(s) > 1 && s[0] == '0') {
+		return 0, false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil { // overflow
+		return 0, false
+	}
+	return n, true
 }
 
 // renderJSON produces exactly the bytes writeJSON would stream, so cached

@@ -403,3 +403,70 @@ func TestReadAfterCommitConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSearchRejectsTokenFreeQueries pins the whitespace-query fix: a
+// ?name= value that tokenizes to nothing (whitespace, punctuation, or
+// only sub-minimum tokens) must be rejected with the same 400 as a
+// missing query — before this, "%20" slipped past the empty-string check
+// and ran a zero-token search that could never match anything.
+func TestSearchRejectsTokenFreeQueries(t *testing.T) {
+	srv, ts := serverPair(t, Config{})
+	ingestCollection(t, ts, testCollection(t, 12))
+	resolveOK(t, ts, IncrementalResolveRequest{})
+
+	for _, q := range []string{
+		"name=",          // empty
+		"name=%20",       // single space
+		"name=%20%09%20", // whitespace only
+		"name=...",       // punctuation only
+		"name=a",         // below the minimum token length
+	} {
+		var errOut errorResponse
+		if code := getJSON(t, ts, "/v1/search?"+q, &errOut); code != http.StatusBadRequest {
+			t.Errorf("search ?%s = %d, want 400", q, code)
+		}
+	}
+	// Token-free queries never reach the serving index or the cache.
+	if got := srv.counters.readSearch.Load(); got != 0 {
+		t.Errorf("readSearch = %d after rejected queries, want 0", got)
+	}
+	// A real query still works.
+	var search SearchResponse
+	if code := getJSON(t, ts, "/v1/search?name=rivera", &search); code != http.StatusOK {
+		t.Fatalf("search = %d, want 200", code)
+	}
+}
+
+// TestDocEntityRequiresCanonicalPosition pins the cache-aliasing fix:
+// strconv.Atoi accepted "+3" and "03" for /v1/docs/{ref}/entity, so one
+// document could occupy many response-cache entries (and a client could
+// mint unbounded keys for one resource). Only the canonical digit-only
+// spelling may answer 200.
+func TestDocEntityRequiresCanonicalPosition(t *testing.T) {
+	srv, ts := serverPair(t, Config{})
+	ingestCollection(t, ts, testCollection(t, 12))
+	resolveOK(t, ts, IncrementalResolveRequest{})
+
+	var canonical EntityResponse
+	if code := getJSON(t, ts, "/v1/docs/rivera:3/entity", &canonical); code != http.StatusOK {
+		t.Fatalf("canonical lookup = %d", code)
+	}
+	cached := srv.readCache.size()
+
+	for _, ref := range []string{
+		"rivera:+3", "rivera:03", "rivera:003", "rivera:%203", "rivera:3%20", "rivera:-0",
+	} {
+		var errOut errorResponse
+		if code := getJSON(t, ts, "/v1/docs/"+ref+"/entity", &errOut); code != http.StatusBadRequest {
+			t.Errorf("lookup %q = %d, want 400", ref, code)
+		}
+	}
+	// None of the aliases minted a cache entry for the same document.
+	if got := srv.readCache.size(); got != cached {
+		t.Errorf("cache grew from %d to %d entries on aliased refs", cached, got)
+	}
+	// "0" itself stays canonical.
+	if code := getJSON(t, ts, "/v1/docs/rivera:0/entity", &struct{}{}); code != http.StatusOK {
+		t.Errorf("pos 0 lookup rejected")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"mime"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -30,9 +31,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/eval"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/serving"
 	"repro/internal/store"
+	"repro/internal/tracing"
 )
 
 // Config bounds the server's per-request resources.
@@ -92,6 +95,10 @@ type Config struct {
 	// ReadCache bounds the read path's LRU response cache in entries; zero
 	// selects 1024, negative disables the cache.
 	ReadCache int
+	// TraceBuffer bounds the ring of recently finished request traces
+	// GET /v1/traces serves; zero selects 256, negative disables tracing
+	// (the endpoint then always answers an empty list).
+	TraceBuffer int
 	// ErrorLog receives background persistence failures (snapshot
 	// save/load); nil selects log.Printf.
 	ErrorLog func(format string, args ...any)
@@ -156,6 +163,13 @@ type Server struct {
 	// latency holds the per-stage latency histograms /v1/stats reports.
 	latency stageHistograms
 
+	// registry renders every instrument above on GET /metrics; traces is
+	// the ring of recently finished request traces GET /v1/traces dumps
+	// (nil when tracing is disabled); started anchors the uptime gauge.
+	registry *metrics.Registry
+	traces   *tracing.Buffer
+	started  time.Time
+
 	// warmCh coalesces ingest notifications for the background index
 	// warmer; closeCh stops it, warmDone (nil when no warmer runs) is
 	// closed when it has fully exited — Close joins on it so no index
@@ -167,23 +181,26 @@ type Server struct {
 }
 
 // counters aggregates per-stage activity across the server's lifetime.
+// Every field is a registry-backed counter (initObservability wires them),
+// so the same instruments feed /v1/stats and the Prometheus /metrics
+// exposition.
 type counters struct {
-	runs, blocks, reused, prepared, trivial atomic.Int64
-	deltaDocs, dirtyBlocks                  atomic.Int64
-	ingestBatches                           atomic.Int64
+	runs, blocks, reused, prepared, trivial *metrics.Counter
+	deltaDocs, dirtyBlocks                  *metrics.Counter
+	ingestBatches                           *metrics.Counter
 	// Read-path counters: per-endpoint request counts and response-cache
 	// traffic.
-	readEntities, readDocs, readSearch atomic.Int64
-	cacheHits, cacheMisses             atomic.Int64
+	readEntities, readDocs, readSearch *metrics.Counter
+	cacheHits, cacheMisses             *metrics.Counter
 	// Degradation counters: every event where the server kept serving by
 	// giving something up — a panicking handler answered 500, ingest was
 	// throttled, persisted state failed to load (rebuilt from the corpus)
 	// or save (retried later). Surfaced by /v1/stats so operators see
 	// silent degradation before it becomes an outage.
-	panics, ingestThrottled                    atomic.Int64
-	snapshotLoadFailures, snapshotSaveFailures atomic.Int64
-	indexLoadFailures, indexSaveFailures       atomic.Int64
-	servingLoadFailures, servingSaveFailures   atomic.Int64
+	panics, ingestThrottled                    *metrics.Counter
+	snapshotLoadFailures, snapshotSaveFailures *metrics.Counter
+	indexLoadFailures, indexSaveFailures       *metrics.Counter
+	servingLoadFailures, servingSaveFailures   *metrics.Counter
 }
 
 // indexEntry is one shared blocking index plus its persistence
@@ -270,6 +287,9 @@ func New(cfg Config) *Server {
 	if s.store == nil {
 		s.store = store.NewMemStore()
 	}
+	// Instruments must exist before anything can tick one: the serving
+	// load and ingest subscription below both touch counters.
+	s.initObservability()
 	if cfg.ReadCache >= 0 {
 		size := cfg.ReadCache
 		if size == 0 {
@@ -409,6 +429,8 @@ func (s *Server) Close(ctx context.Context) error {
 //	GET  /v1/docs/{ref}/entity    which cluster a store document is in
 //	GET  /v1/search?name=         name tokens → candidate clusters
 //	GET  /v1/stats                per-stage counters and index shapes
+//	GET  /v1/traces               recent request traces, newest first
+//	GET  /metrics                 Prometheus text exposition
 //	GET  /healthz                 liveness plus store stats
 //	GET  /readyz                  readiness (the server exists ⇒ replay done)
 //
@@ -426,6 +448,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/docs/", s.handleDocEntity)
 	mux.HandleFunc("/v1/search", s.handleSearch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/traces", s.handleTraces)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "store": s.store.Stats()})
 	})
@@ -731,7 +755,10 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	pl, score, err := buildPipeline(req.resolveKnobs, nil, s.observeStage)
+	tr := s.traces.Start("resolve")
+	defer tr.End()
+	tr.SetAttr("collections", strconv.Itoa(len(req.Collections)))
+	pl, score, err := buildPipeline(req.resolveKnobs, nil, s.stageObserver(tr))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -838,7 +865,9 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	pl, score, err := buildPipeline(req.resolveKnobs, blocker, s.observeStage)
+	tr := s.traces.Start("resolve.incremental")
+	defer tr.End()
+	pl, score, err := buildPipeline(req.resolveKnobs, blocker, s.stageObserver(tr))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -857,6 +886,8 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 	defer state.mu.Unlock()
 
 	cols, version := s.store.Snapshot()
+	tr.SetAttr("knobs", state.key)
+	tr.SetAttr("store_version", strconv.FormatUint(version, 10))
 	docs := 0
 	for _, col := range cols {
 		docs += len(col.Docs)
@@ -910,6 +941,8 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 	// saw the response can immediately GET the clusters it describes.
 	s.publishServing(state.key, cols, version, inc)
 	s.persistIndex(indexEntry, false)
+	tr.SetAttr("blocks", strconv.Itoa(inc.Stats.Blocks))
+	tr.SetAttr("reused", strconv.Itoa(inc.Stats.Reused))
 	s.counters.runs.Add(1)
 	s.counters.blocks.Add(int64(inc.Stats.Blocks))
 	s.counters.reused.Add(int64(inc.Stats.Reused))
@@ -1277,10 +1310,13 @@ func (s *Server) degradedStats() DegradedStats {
 	return d
 }
 
-// QueueStats reports the ingest queue's backpressure signal.
+// QueueStats reports the ingest queue's backpressure signal and its
+// lifetime job totals.
 type QueueStats struct {
 	// Depth is the number of enqueued-but-unfinished jobs.
 	Depth int `json:"depth"`
+	// Jobs are the queue's lifetime totals since the server started.
+	Jobs store.QueueCounters `json:"jobs"`
 }
 
 // IngestStats counts observed ingest activity.
@@ -1339,7 +1375,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	storeStats := s.store.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Store:  storeStats,
-		Queue:  QueueStats{Depth: s.jobs.Depth()},
+		Queue:  QueueStats{Depth: s.jobs.Depth(), Jobs: s.jobs.Counters()},
 		Ingest: IngestStats{Batches: s.counters.ingestBatches.Load()},
 		Resolve: ResolveStats{
 			Runs:           s.counters.runs.Load(),
@@ -1384,7 +1420,7 @@ func writeRunError(w http.ResponseWriter, err error, timeout time.Duration) bool
 // passes nil and gets a stateless per-request blocker, since arbitrary
 // posted corpora must never feed a store-bound index.
 func buildPipeline(req resolveKnobs, blocker pipeline.Blocker,
-	observe func(stage string, d time.Duration)) (*pipeline.Pipeline, bool, error) {
+	observe func(stage, block string, d time.Duration)) (*pipeline.Pipeline, bool, error) {
 	opts := core.DefaultOptions()
 	if req.TrainFraction != 0 {
 		opts.TrainFraction = req.TrainFraction

@@ -111,6 +111,9 @@ type Queue struct {
 	closed bool
 	// depth counts enqueued-but-unfinished jobs (pending + running).
 	depth int
+	// counters accumulates lifetime job totals for the metrics endpoint;
+	// guarded by mu.
+	counters QueueCounters
 	// finished ring: IDs of terminal jobs in completion order, capped at
 	// keep; the head is evicted (removed from jobs) when the cap is hit.
 	finished []string
@@ -201,6 +204,7 @@ func (q *Queue) setAttempts(id string, attempts int) {
 	if job, ok := q.jobs[id]; ok {
 		job.Attempts = attempts
 	}
+	q.counters.Retried++
 }
 
 // Enqueue registers a job and hands it to the worker. It fails when the
@@ -226,6 +230,7 @@ func (q *Queue) Enqueue(kind string, run func(context.Context) (any, error)) (Jo
 	case q.ch <- queued{id: job.ID, run: run}:
 		q.seq++
 		q.depth++
+		q.counters.Enqueued++
 		q.jobs[job.ID] = job
 		return *job, nil
 	default:
@@ -240,6 +245,28 @@ func (q *Queue) Depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.depth
+}
+
+// QueueCounters are the queue's lifetime job totals, accumulated since
+// the queue was constructed — the counter-shaped complement of Depth's
+// instantaneous backpressure gauge, exposed by /v1/stats and /metrics.
+type QueueCounters struct {
+	// Enqueued counts jobs accepted by Enqueue.
+	Enqueued int64 `json:"enqueued"`
+	// Done, Failed and Canceled count terminal outcomes; Failed includes
+	// both permanent and exhausted-retry transient failures.
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+	// Retried counts individual retry attempts beyond each job's first.
+	Retried int64 `json:"retried"`
+}
+
+// Counters returns a copy of the queue's lifetime totals.
+func (q *Queue) Counters() QueueCounters {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.counters
 }
 
 // GetOutcome classifies a Get lookup.
@@ -301,18 +328,22 @@ func (q *Queue) finish(id string, result any, attempts int, err error) {
 	case err == nil:
 		job.Status = JobDone
 		job.Result = result
+		q.counters.Done++
 	case q.ctx.Err() != nil && errors.Is(err, context.Canceled):
 		job.Status = JobCanceled
 		job.Error = "canceled by shutdown"
 		job.Failure = &JobFailure{Kind: "canceled", Message: "canceled by shutdown"}
+		q.counters.Canceled++
 	case IsPermanent(err):
 		job.Status = JobFailed
 		job.Error = err.Error()
 		job.Failure = &JobFailure{Kind: "permanent", Message: err.Error()}
+		q.counters.Failed++
 	default:
 		job.Status = JobFailed
 		job.Error = err.Error()
 		job.Failure = &JobFailure{Kind: "transient", Message: err.Error()}
+		q.counters.Failed++
 	}
 	q.finished = append(q.finished, id)
 	for len(q.finished) > q.keep {

@@ -362,3 +362,53 @@ func TestQueueDepth(t *testing.T) {
 		t.Fatalf("depth %d after drain, want 0", q.Depth())
 	}
 }
+
+// TestQueueCounters pins the lifetime totals the metrics endpoint
+// scrapes: enqueued, done, failed (with its retries) all accumulate, and
+// they never reset as the finished ring evicts records.
+func TestQueueCounters(t *testing.T) {
+	old := jobRetryBackoff
+	jobRetryBackoff = time.Millisecond
+	defer func() { jobRetryBackoff = old }()
+
+	q := NewQueue(16, 1)
+	defer q.Shutdown(context.Background())
+
+	var last Job
+	for i := 0; i < 3; i++ {
+		job, err := q.Enqueue("ok", func(context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = job
+	}
+	waitStatus(t, q, last.ID)
+	fail, err := q.Enqueue("fail", func(context.Context) (any, error) {
+		return nil, fmt.Errorf("transient")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for q.Counters().Failed == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	_ = fail
+
+	c := q.Counters()
+	if c.Enqueued != 4 {
+		t.Errorf("Enqueued = %d, want 4", c.Enqueued)
+	}
+	if c.Done != 3 {
+		t.Errorf("Done = %d, want 3", c.Done)
+	}
+	if c.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", c.Failed)
+	}
+	if c.Retried == 0 {
+		t.Error("Retried = 0, want > 0 (transient failure retries before failing)")
+	}
+	if c.Canceled != 0 {
+		t.Errorf("Canceled = %d, want 0", c.Canceled)
+	}
+}
