@@ -57,9 +57,16 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		if err := runServe(os.Args[2:]); err != nil {
+		if err := runServe(ctx, os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "ersolve serve:", err)
+			var ue *usageError
+			if errors.As(err, &ue) {
+				os.Exit(2)
+			}
 			os.Exit(1)
 		}
 		return
@@ -81,6 +88,18 @@ func main() {
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "ersolve: -in is required")
+		os.Exit(2)
+	}
+	if *train <= 0 || *train >= 1 {
+		fmt.Fprintf(os.Stderr, "ersolve: -train: %v is out of range; need a fraction in (0, 1)\n", *train)
+		os.Exit(2)
+	}
+	if *regionK < 1 {
+		fmt.Fprintf(os.Stderr, "ersolve: -regions: %d is out of range; need an integer >= 1\n", *regionK)
+		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "ersolve: -block-shards: %d is out of range; need 0 (default) or a positive shard count\n", *shards)
 		os.Exit(2)
 	}
 
@@ -114,13 +133,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	if err := run(ctx, *in, strategyFn, clusteringM, blocker, *train, *regionK, *seed, *score, *members); err != nil {
 		fmt.Fprintln(os.Stderr, "ersolve:", err)
 		os.Exit(1)
 	}
 }
+
+// usageError marks a flag-validation failure so main can exit with the
+// conventional usage status 2 instead of the runtime-failure status 1.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
 
 // loadDataset reads and validates the dataset, closing the file on every
 // path and surfacing close errors.
@@ -193,7 +216,7 @@ func run(ctx context.Context, in string, strategy pipeline.Strategy, clustering 
 // fails or an interrupt triggers a graceful shutdown: in-flight requests
 // and queued ingest jobs get the drain window to finish, then are
 // canceled.
-func runServe(args []string) error {
+func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ersolve serve", flag.ExitOnError)
 	var (
 		addr    = fs.String("addr", ":8476", "listen address")
@@ -209,6 +232,22 @@ func runServe(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch {
+	case *addr == "":
+		return &usageError{"-addr: listen address must not be empty"}
+	case *timeout <= 0:
+		return &usageError{fmt.Sprintf("-timeout: %v is out of range; need a positive duration", *timeout)}
+	case *maxBody <= 0:
+		return &usageError{fmt.Sprintf("-max-body: %d is out of range; need a positive byte count", *maxBody)}
+	case *queue < 1:
+		return &usageError{fmt.Sprintf("-queue: %d is out of range; need a backlog of at least 1", *queue)}
+	case *history < 0:
+		return &usageError{fmt.Sprintf("-job-history: %d is out of range; need 0 or a positive record count", *history)}
+	case *drain <= 0:
+		return &usageError{fmt.Sprintf("-drain: %v is out of range; need a positive drain window", *drain)}
+	case *shards < 0:
+		return &usageError{fmt.Sprintf("-block-shards: %d is out of range; need 0 (default) or a positive shard count", *shards)}
 	}
 
 	cfg := service.Config{
@@ -274,8 +313,6 @@ func runServe(args []string) error {
 		fmt.Fprintln(os.Stderr, "ersolve: ready")
 	}()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()

@@ -474,6 +474,8 @@ func (x *Index) Workers() int { return x.workers }
 // small inputs run inline. It is the shared fan-out primitive of the
 // index's delta keying, fingerprinting, and the pipeline's block
 // assembly.
+//
+// erlint:ignore CPU-bound fan-out that always joins before returning; callers bound it by cancelling the work fed to fn
 func Parallel(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n

@@ -53,6 +53,8 @@ type Prepared struct {
 
 // Prepare extracts features and computes all similarity matrices for one
 // collection (the per-block G_w^fi computation of Algorithm 1).
+//
+// erlint:ignore non-cancelable compatibility shim; new callers use PrepareCtx
 func (r *Resolver) Prepare(col *corpus.Collection) (*Prepared, error) {
 	return r.PrepareCtx(context.Background(), col)
 }
@@ -116,6 +118,8 @@ func (r *Resolver) AdoptPrepared(block *simfn.Block, matrices map[string]*simfn.
 // coordination. The result slice is deterministic: out[i] always
 // corresponds to cols[i], and each Prepared is identical to what a serial
 // r.Prepare(cols[i]) would build.
+//
+// erlint:ignore non-cancelable compatibility shim; new callers use PrepareAllCtx
 func (r *Resolver) PrepareAll(cols []*corpus.Collection) ([]*Prepared, error) {
 	return r.PrepareAllCtx(context.Background(), cols)
 }
@@ -370,6 +374,8 @@ func (a *Analysis) WeightedAverageOver(funcIDs []string) (*Resolution, error) {
 // Resolve runs the full pipeline on a collection with the resolver's seed
 // and the paper's best-performing combination (best graph over all
 // criteria, then clustering).
+//
+// erlint:ignore non-cancelable compatibility shim; new callers use ResolveCtx
 func (r *Resolver) Resolve(col *corpus.Collection) (*Resolution, error) {
 	return r.ResolveCtx(context.Background(), col)
 }

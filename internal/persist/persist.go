@@ -165,7 +165,7 @@ func OpenWithOptions(dir string, opts Options) (*Data, error) {
 // process would until its descriptors close.
 func lockDir(dir string) (*os.File, error) {
 	path := filepath.Join(dir, "lock")
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644) // erlint:ignore flock needs a real OS descriptor; fault injection must never fake lock ownership
 	if err != nil {
 		return nil, fmt.Errorf("persist: opening lock file %s: %w", path, err)
 	}

@@ -22,6 +22,9 @@ import (
 // configuration (same options, blocker and strategy) that produced them;
 // feeding one to a differently-configured pipeline silently reuses results
 // the new configuration would not have computed.
+//
+// erlint:immutable — published snapshots are shared by concurrent readers;
+// build a fresh Snapshot instead of mutating one in place.
 type Snapshot struct {
 	entries map[uint64]*cachedBlock
 }

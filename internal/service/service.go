@@ -259,6 +259,8 @@ type incrementalState struct {
 
 // New applies the config defaults and returns a server. The server owns a
 // background ingest worker; call Close when done with it.
+//
+// erlint:ignore the warm loop's lifetime is bound to the Server, ended by Close via closeCh, not by a request context
 func New(cfg Config) *Server {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 30 * time.Second
@@ -344,6 +346,8 @@ const warmSaveDeltaDocs = 4096
 // documents into every live blocking index. Warming is best effort: a
 // failure (or a race with a concurrent resolve) costs nothing but the
 // head-start, since BlockFingerprints re-runs the same delta update.
+//
+// erlint:ignore server-lifetime loop; its select exits on closeCh when Close runs, the cancellation seam for this goroutine
 func (s *Server) warmLoop() {
 	defer close(s.warmDone)
 	for {

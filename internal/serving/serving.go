@@ -109,6 +109,9 @@ type blockState struct {
 // Index is one committed resolution, inverted for reads. All state is
 // immutable after Build; every method is safe for concurrent use without
 // locks.
+//
+// erlint:immutable — the hot read path loads an *Index through an atomic
+// pointer with no locks; any post-publish write is a data race.
 type Index struct {
 	epoch        uint64
 	storeVersion uint64

@@ -164,6 +164,8 @@ var extraWorkerSlots = sync.OnceValue(func() chan struct{} {
 // arrays, so no synchronization of the values themselves is needed. A
 // non-nil done channel makes workers stop claiming rows once it closes;
 // the caller is then responsible for discarding the partial matrices.
+//
+// erlint:ignore cancellation arrives through the done channel, plumbed from ctx.Done() by the Ctx entry points
 func computeMatrices(b *Block, funcs []Func, done <-chan struct{}) []*Matrix {
 	n := len(b.Docs)
 	ms := make([]*Matrix, len(funcs))

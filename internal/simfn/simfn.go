@@ -92,6 +92,8 @@ type Block struct {
 // of a collection. A nil extractor selects the default built on the shared
 // wordlists. IDF statistics are block-local, mirroring a per-name Lucene
 // index.
+//
+// erlint:ignore non-cancelable compatibility shim; new callers use PrepareBlockCtx
 func PrepareBlock(col *corpus.Collection, fe *extract.FeatureExtractor) *Block {
 	b, _ := PrepareBlockCtx(context.Background(), col, fe) // background ctx never cancels
 	return b

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -54,10 +56,10 @@ func TestMinMax(t *testing.T) {
 	if got, err := Max(xs); err != nil || got != 7 {
 		t.Errorf("Max = %v, %v, want 7, nil", got, err)
 	}
-	if _, err := Min(nil); err != ErrEmpty {
+	if _, err := Min(nil); !errors.Is(err, ErrEmpty) {
 		t.Errorf("Min(nil) err = %v, want ErrEmpty", err)
 	}
-	if _, err := Max(nil); err != ErrEmpty {
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
 		t.Errorf("Max(nil) err = %v, want ErrEmpty", err)
 	}
 }
@@ -100,7 +102,7 @@ func TestPearson(t *testing.T) {
 	if _, err := Pearson(xs, ys[:2]); err == nil {
 		t.Error("Pearson length mismatch: want error")
 	}
-	if _, err := Pearson(nil, nil); err != ErrEmpty {
+	if _, err := Pearson(nil, nil); !errors.Is(err, ErrEmpty) {
 		t.Errorf("Pearson empty err = %v, want ErrEmpty", err)
 	}
 }
@@ -119,7 +121,7 @@ func TestQuantileMedian(t *testing.T) {
 	if _, err := Quantile(xs, 1.5); err == nil {
 		t.Error("Quantile out of range: want error")
 	}
-	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
 		t.Errorf("Quantile empty err = %v, want ErrEmpty", err)
 	}
 	single, _ := Quantile([]float64{7}, 0.3)
@@ -218,5 +220,33 @@ func TestVarianceNonNegativeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// floorOf wraps the stats error across a call boundary the way the
+// service layers do before surfacing it.
+func floorOf(xs []float64) (float64, error) {
+	m, err := Min(xs)
+	if err != nil {
+		return 0, fmt.Errorf("computing floor: %w", err)
+	}
+	return m, nil
+}
+
+// TestErrEmptyMatchesThroughWrap pins the behavior the errwrap linter
+// exists to protect: a sentinel wrapped with %w at a call boundary still
+// matches via errors.Is, while the direct comparison the linter bans
+// silently stops matching.
+func TestErrEmptyMatchesThroughWrap(t *testing.T) {
+	_, err := floorOf(nil)
+	if err == nil {
+		t.Fatal("floorOf(nil) = nil error, want wrapped ErrEmpty")
+	}
+	if !errors.Is(err, ErrEmpty) {
+		t.Fatalf("floorOf(nil) error = %v, want errors.Is match with ErrEmpty", err)
+	}
+	// erlint:ignore demonstrating the failure mode the lint rule prevents
+	if err == ErrEmpty {
+		t.Fatal("wrapped error compares == to ErrEmpty; the wrap this test guards is gone")
 	}
 }

@@ -136,6 +136,8 @@ type Queue struct {
 // records stay queryable (values < 1 select 1024): the oldest finished
 // record is evicted beyond the cap, while pending and running jobs are
 // always retained.
+//
+// erlint:ignore the worker goroutine is queue-lifetime, ended by Shutdown(ctx), which is where cancellation enters
 func NewQueue(buffer, history int) *Queue {
 	if buffer < 1 {
 		buffer = 64

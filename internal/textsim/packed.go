@@ -51,6 +51,9 @@ func (v *Vocab) Len() int { return len(v.terms) }
 // loop touches only the two ID/weight arrays with a branch-predictable
 // merge join — no hashing, no allocation. A PackedVector is immutable
 // after Pack and safe for concurrent reads.
+//
+// erlint:immutable — packed vectors are shared across scorer goroutines;
+// mutating one corrupts every similarity computed from it.
 type PackedVector struct {
 	// IDs are the interned term IDs in ascending order.
 	IDs []int32
@@ -97,7 +100,9 @@ type byID struct{ p *PackedVector }
 func (s byID) Len() int           { return len(s.p.IDs) }
 func (s byID) Less(i, j int) bool { return s.p.IDs[i] < s.p.IDs[j] }
 func (s byID) Swap(i, j int) {
+	// erlint:ignore Pack sorts its still-private vector through byID before returning it
 	s.p.IDs[i], s.p.IDs[j] = s.p.IDs[j], s.p.IDs[i]
+	// erlint:ignore Pack sorts its still-private vector through byID before returning it
 	s.p.Weights[i], s.p.Weights[j] = s.p.Weights[j], s.p.Weights[i]
 }
 

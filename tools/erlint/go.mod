@@ -1,0 +1,3 @@
+module repro/tools/erlint
+
+go 1.24

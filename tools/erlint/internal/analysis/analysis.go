@@ -1,0 +1,60 @@
+// Package analysis is a dependency-free subset of the
+// golang.org/x/tools/go/analysis API: just enough surface (Analyzer, Pass,
+// Diagnostic) for erlint's repo-specific checkers and their tests. The
+// shapes mirror x/tools deliberately so the checkers can be ported to the
+// real framework by swapping the import path if the dependency ever
+// becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name for diagnostics and flags, a
+// doc string, and the Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags. It must
+	// be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's one-paragraph documentation: first line is a
+	// summary, the rest explains the invariant it enforces.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// pass.Report. The result value is unused by erlint's driver and
+	// exists for x/tools API symmetry.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the single-package unit of work handed to an Analyzer's Run: the
+// package's syntax, type information, and a sink for diagnostics.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the pass's FileSet and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,186 @@
+// Package analysistest runs an analyzer over packages rooted in a
+// testdata/src tree and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a line expecting
+// a diagnostic carries
+//
+//	code() // want `regexp`
+//
+// with one quoted or backquoted regexp per expected diagnostic on that
+// line.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/tools/erlint/internal/analysis"
+	"repro/tools/erlint/internal/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each package pattern from dir/src, applies the analyzer, and
+// reports mismatches between its diagnostics and the // want expectations
+// to t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	loader := load.New(load.Root{Prefix: "", Dir: filepath.Join(dir, "src")})
+	for _, pattern := range patterns {
+		units, err := loader.Load(pattern)
+		if err != nil {
+			t.Errorf("loading %s: %v", pattern, err)
+			continue
+		}
+		for _, unit := range units {
+			diags := runUnit(t, a, unit)
+			checkWants(t, unit, diags)
+		}
+	}
+}
+
+// runUnit applies the analyzer to one package unit.
+func runUnit(t *testing.T, a *analysis.Analyzer, unit *load.Package) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      unit.Fset,
+		Files:     unit.Files,
+		Pkg:       unit.Types,
+		TypesInfo: unit.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer %s failed: %v", unit.Path, a.Name, err)
+	}
+	return diags
+}
+
+// expectation is one // want regexp with its location.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("//[ \t]*want[ \t]+(.*)$")
+
+// checkWants matches diagnostics against expectations, reporting
+// unexpected and missing diagnostics.
+func checkWants(t *testing.T, unit *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	seen := map[string]bool{}
+	for _, f := range unit.Files {
+		name := unit.Fset.File(f.Pos()).Name()
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		ws, err := parseWants(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		wants = append(wants, ws...)
+	}
+
+	for _, d := range diags {
+		pos := unit.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the // want expectations from one source file.
+func parseWants(filename string) ([]*expectation, error) {
+	src, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			var quoted string
+			switch rest[0] {
+			case '`':
+				end := strings.IndexByte(rest[1:], '`')
+				if end < 0 {
+					return nil, fmt.Errorf("line %d: unterminated want regexp", i+1)
+				}
+				quoted = rest[1 : 1+end]
+				rest = strings.TrimSpace(rest[2+end:])
+			case '"':
+				var err error
+				quoted, rest, err = unquoteLeading(rest)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w", i+1, err)
+				}
+			default:
+				return nil, fmt.Errorf("line %d: want expectation must be a quoted regexp, got %q", i+1, rest)
+			}
+			re, err := regexp.Compile(quoted)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad want regexp: %w", i+1, err)
+			}
+			wants = append(wants, &expectation{file: filename, line: i + 1, re: re, raw: "`" + quoted + "`"})
+		}
+	}
+	return wants, nil
+}
+
+// unquoteLeading unquotes a leading double-quoted Go string and returns
+// the remainder.
+func unquoteLeading(s string) (value, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			v, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return v, strings.TrimSpace(s[i+1:]), nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want string")
+}

@@ -1,0 +1,22 @@
+// Package checkers enumerates erlint's analyzers.
+package checkers
+
+import (
+	"repro/tools/erlint/internal/analysis"
+	"repro/tools/erlint/internal/checkers/ctxflow"
+	"repro/tools/erlint/internal/checkers/errwrap"
+	"repro/tools/erlint/internal/checkers/immutable"
+	"repro/tools/erlint/internal/checkers/metricreg"
+	"repro/tools/erlint/internal/checkers/syncack"
+)
+
+// All returns every erlint analyzer in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		errwrap.Analyzer,
+		immutable.Analyzer,
+		metricreg.Analyzer,
+		syncack.Analyzer,
+	}
+}

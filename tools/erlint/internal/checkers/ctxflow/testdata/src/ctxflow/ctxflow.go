@@ -1,0 +1,58 @@
+// Package ctxflow exercises the function-level rules of the ctxflow
+// analyzer: cancellation-relevant concurrency needs a context.Context.
+package ctxflow
+
+import (
+	"context"
+	"testing"
+)
+
+func spawns() { // want `spawns starts a goroutine but has no context.Context parameter`
+	go func() {}()
+}
+
+func spawnsCtx(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+
+func selects(ch chan int) { // want `selects blocks in a select but has no context.Context parameter`
+	select {
+	case <-ch:
+	}
+}
+
+func selectsNonBlocking(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+func callsCtxVariant() { // want `callsCtxVariant calls ResolveCtx but has no context.Context parameter`
+	ResolveCtx(context.Background())
+}
+
+// ResolveCtx is the cancelable variant callsCtxVariant should have been.
+func ResolveCtx(ctx context.Context) {}
+
+// main is a process entry point: the context originates here.
+func main() {
+	go func() {}()
+}
+
+// server stores its lifecycle context, the pattern service.Server uses.
+type server struct {
+	ctx context.Context
+}
+
+func (s *server) loop(ch chan int) {
+	select {
+	case <-ch:
+	}
+}
+
+func testHelper(t *testing.T, ch chan int) {
+	select {
+	case <-ch:
+	}
+}

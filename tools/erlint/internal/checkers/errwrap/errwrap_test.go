@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"repro/tools/erlint/internal/analysistest"
+	"repro/tools/erlint/internal/checkers/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errwrap.Analyzer, "errwrap")
+}

@@ -1,0 +1,44 @@
+// Package errwrap exercises the errwrap analyzer: fmt.Errorf must wrap
+// error arguments with %w, and sentinel comparisons must use errors.Is.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrQueueFull mimics a repo sentinel: package-level, error-typed,
+// Err-prefixed.
+var ErrQueueFull = errors.New("queue full")
+
+// errLocal is package-level but not Err-prefixed, so not a sentinel.
+var errLocal = errors.New("local")
+
+func flagged(err error) {
+	_ = fmt.Errorf("enqueue: %v", err) // want `fmt.Errorf formats an error argument without %w`
+	_ = fmt.Errorf("enqueue: %s", err) // want `fmt.Errorf formats an error argument without %w`
+	if err == ErrQueueFull {           // want `error compared against sentinel ErrQueueFull with ==`
+		return
+	}
+	if ErrQueueFull != err { // want `error compared against sentinel ErrQueueFull with !=`
+		return
+	}
+	switch err {
+	case ErrQueueFull: // want `switch compares error against sentinel ErrQueueFull with ==`
+	}
+}
+
+func clean(err error) {
+	_ = fmt.Errorf("enqueue: %w", err)
+	_ = fmt.Errorf("%d items failed: %w", 3, err)
+	_ = fmt.Errorf("no error arguments: %d%%", 7)
+	if errors.Is(err, ErrQueueFull) {
+		return
+	}
+	if err == nil || err == errLocal {
+		return
+	}
+	switch {
+	case errors.Is(err, ErrQueueFull):
+	}
+}

@@ -1,0 +1,13 @@
+package immutable_test
+
+import (
+	"testing"
+
+	"repro/tools/erlint/internal/analysistest"
+	"repro/tools/erlint/internal/checkers/immutable"
+)
+
+func TestImmutable(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), immutable.Analyzer,
+		"immut", "immutclient")
+}

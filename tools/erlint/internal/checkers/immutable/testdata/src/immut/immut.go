@@ -1,0 +1,76 @@
+// Package immut exercises the immutable analyzer: an annotated type may
+// only have its fields written while the value is provably fresh or
+// inside a decoder method.
+package immut
+
+// Box is built once and then shared by concurrent readers.
+//
+// erlint:immutable
+type Box struct {
+	// Vals is the payload.
+	Vals []int
+	// N caches len(Vals).
+	N int
+}
+
+// Plain carries no annotation; writes to it are unrestricted.
+type Plain struct{ n int }
+
+// NewBox writes freely: the pointer is a fresh local until returned.
+func NewBox(vals []int) *Box {
+	b := &Box{}
+	b.Vals = vals
+	b.N = len(vals)
+	return b
+}
+
+// GobDecode is a decoder method: receiver writes are construction.
+func (b *Box) GobDecode(data []byte) error {
+	b.N = len(data)
+	return nil
+}
+
+func mutateParam(b *Box) {
+	b.N = 7 // want `write to field N of immutable type immut.Box`
+}
+
+func mutateElem(b *Box) {
+	b.Vals[0] = 1 // want `write to field Vals of immutable type immut.Box`
+}
+
+func mutateRange(boxes []*Box) {
+	for _, b := range boxes {
+		b.N++ // want `write to field N of immutable type immut.Box`
+	}
+}
+
+// holder aliases a Box behind a value type, the sort-helper shape.
+type holder struct{ b *Box }
+
+func (h holder) mutateThrough() {
+	h.b.N = 3 // want `write to field N of immutable type immut.Box`
+}
+
+func valueCopy(b Box) {
+	b.N = 9 // value parameter: writes land on the copy, never the original
+}
+
+func freshValue() Box {
+	var b Box
+	b.N = 1
+	return b
+}
+
+// reassignedToParam shows the freshness rule is flow-insensitive: once
+// any assignment to b is non-fresh, every write through b is suspect.
+func reassignedToParam(p *Box) *Box {
+	b := &Box{}
+	b.N = 1 // want `write to field N of immutable type immut.Box`
+	b = p
+	b.N = 2 // want `write to field N of immutable type immut.Box`
+	return b
+}
+
+func plainOK(p *Plain) {
+	p.n = 5
+}

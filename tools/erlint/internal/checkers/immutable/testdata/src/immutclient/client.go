@@ -1,0 +1,16 @@
+// Package immutclient mutates an annotated type imported from another
+// package, exercising the cross-package marker lookup the analyzer needs
+// under go vet, where imports arrive as export data.
+package immutclient
+
+import "immut"
+
+func Mutate(b *immut.Box) {
+	b.N = 1 // want `write to field N of immutable type immut.Box`
+}
+
+func Fresh() *immut.Box {
+	b := &immut.Box{}
+	b.N = 2
+	return b
+}

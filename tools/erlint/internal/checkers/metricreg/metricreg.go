@@ -1,0 +1,180 @@
+// Package metricreg keeps the Prometheus exposition honest (PR 8): every
+// instrument must be obtained from metrics.Registry — a Counter or
+// Histogram constructed as a bare literal never renders on /metrics, so
+// its increments silently vanish from scrapes — and instrument names must
+// follow the repo's namespace rules: the ersolve_ prefix, snake_case, a
+// _total suffix for counters and a _seconds suffix for histograms.
+package metricreg
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/tools/erlint/internal/analysis"
+)
+
+// Analyzer flags instruments constructed outside Registry registration and
+// registered names violating the ersolve_ namespace rules.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricreg",
+	Doc: "metrics instruments must come from Registry registration and " +
+		"carry ersolve_-namespaced snake_case names with unit suffixes",
+	Run: run,
+}
+
+// metricsPkgSuffix identifies the instrument package; inside it, literal
+// construction is the implementation.
+const metricsPkgSuffix = "internal/metrics"
+
+// instrumentTypes are the registry-owned instrument types.
+var instrumentTypes = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// registerMethods maps Registry methods to the instrument kind they
+// register, for suffix rules.
+var registerMethods = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), metricsPkgSuffix) || strings.HasSuffix(pass.Pkg.Path(), metricsPkgSuffix+"_test") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkLiteral(pass, n)
+			case *ast.CallExpr:
+				checkNew(pass, n)
+				checkRegistration(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkLiteral flags metrics.Counter{} / &metrics.Histogram{} literals.
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	if name, ok := instrumentType(tv.Type); ok {
+		pass.Reportf(lit.Pos(),
+			"metrics.%s constructed as a literal never renders on /metrics; obtain it from a metrics.Registry", name)
+	}
+}
+
+// checkNew flags new(metrics.Counter) and friends.
+func checkNew(pass *analysis.Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "new" || len(call.Args) != 1 {
+		return
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if name, ok := instrumentType(tv.Type); ok {
+		pass.Reportf(call.Pos(),
+			"new(metrics.%s) never renders on /metrics; obtain the instrument from a metrics.Registry", name)
+	}
+}
+
+// instrumentType reports whether t (or its pointee) is one of the metrics
+// package's instrument types.
+func instrumentType(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), metricsPkgSuffix) {
+		return "", false
+	}
+	if !instrumentTypes[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// checkRegistration validates the name argument of Registry registration
+// calls.
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	kind, ok := registerMethods[sel.Sel.Name]
+	if !ok || len(call.Args) < 1 {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	tn := recv.Type()
+	if p, ok := tn.(*types.Pointer); ok {
+		tn = p.Elem()
+	}
+	named, ok := tn.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" ||
+		named.Obj().Pkg() == nil || !strings.HasSuffix(named.Obj().Pkg().Path(), metricsPkgSuffix) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name must be a compile-time constant so the exposition can be audited statically")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if problem := lintName(name, kind); problem != "" {
+		pass.Reportf(call.Args[0].Pos(), "metric name %q %s", name, problem)
+	}
+}
+
+// lintName returns a problem description for a metric name, empty when the
+// name conforms to the ersolve_ namespace rules.
+func lintName(name, kind string) string {
+	if !strings.HasPrefix(name, "ersolve_") {
+		return "is outside the ersolve_ namespace"
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+			return "must be snake_case: lowercase letters, digits and underscores only"
+		}
+	}
+	if strings.Contains(name, "__") || strings.HasSuffix(name, "_") {
+		return "has empty name segments"
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			return "is a counter and must end in _total"
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") {
+			return "is a histogram and must carry its unit suffix (_seconds)"
+		}
+	}
+	return ""
+}

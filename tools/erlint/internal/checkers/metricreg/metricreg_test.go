@@ -1,0 +1,13 @@
+package metricreg_test
+
+import (
+	"testing"
+
+	"repro/tools/erlint/internal/analysistest"
+	"repro/tools/erlint/internal/checkers/metricreg"
+)
+
+func TestMetricreg(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metricreg.Analyzer,
+		"repro/internal/web")
+}

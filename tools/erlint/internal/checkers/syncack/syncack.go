@@ -1,0 +1,157 @@
+// Package syncack guards the durability contract (PRs 4/6): every byte the
+// store acknowledges is fsynced first, and every mutating filesystem
+// operation in the durable layers goes through the faultfs.FS seam so the
+// crash-injection harness actually exercises it. Two rules follow:
+//
+//  1. In internal/persist, a function that writes to a syncable file
+//     handle (anything with both Write and Sync — faultfs.File, *os.File)
+//     must also Sync (or SyncDir) before it is done; write-without-sync is
+//     how an acked batch dies in the page cache.
+//  2. In internal/persist, internal/serving and internal/store, calling
+//     os.* mutators (os.Rename, os.Remove, os.OpenFile, …) directly
+//     bypasses the seam: the crash harness never sees the operation, so
+//     the crash-safety proof silently stops covering it.
+package syncack
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/erlint/internal/analysis"
+)
+
+// Analyzer flags unsynced file writes in internal/persist and direct os.*
+// mutation calls in the durable packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncack",
+	Doc: "journal/segment writes in internal/persist must be followed by " +
+		"Sync, and file mutation in persist/serving/store must go through faultfs",
+	Run: run,
+}
+
+// seamPkgs are the import-path suffixes whose file I/O must go through
+// faultfs.
+var seamPkgs = []string{"internal/persist", "internal/serving", "internal/store"}
+
+// osMutators are the os functions that change the filesystem.
+var osMutators = map[string]bool{
+	"Create": true, "CreateTemp": true, "OpenFile": true, "Mkdir": true,
+	"MkdirAll": true, "Rename": true, "Remove": true, "RemoveAll": true,
+	"Truncate": true, "WriteFile": true, "Chtimes": true, "Chmod": true,
+	"Chown": true, "Symlink": true, "Link": true,
+}
+
+// writeMethods are the mutating methods of a file handle.
+var writeMethods = map[string]bool{"Write": true, "WriteString": true, "WriteAt": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	inSeam := false
+	for _, suffix := range seamPkgs {
+		if strings.HasSuffix(pass.Pkg.Path(), suffix) {
+			inSeam = true
+		}
+	}
+	if !inSeam {
+		return nil, nil
+	}
+	isPersist := strings.HasSuffix(pass.Pkg.Path(), "internal/persist")
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.File(f.Pos()).Name(), "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkOSCall(pass, call)
+			return true
+		})
+		if isPersist {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkWriteSync(pass, fd)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkOSCall flags direct calls to os mutators.
+func checkOSCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !osMutators[sel.Sel.Name] {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"direct os.%s bypasses the faultfs.FS seam; route file mutation through the injected filesystem so the crash harness covers it",
+		sel.Sel.Name)
+}
+
+// checkWriteSync flags writes to syncable handles in functions that never
+// Sync: on an ack path, the write would not survive a crash.
+func checkWriteSync(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var writes []*ast.CallExpr
+	synced := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			name := sel.Sel.Name
+			switch {
+			case name == "Sync" || name == "SyncDir":
+				synced = true
+			case writeMethods[name] && syncable(pass.TypesInfo.TypeOf(sel.X)):
+				writes = append(writes, call)
+			}
+		}
+		// io.WriteString(f, …) writes through its first argument.
+		if isIoWriteString(pass, call) && len(call.Args) > 0 && syncable(pass.TypesInfo.TypeOf(call.Args[0])) {
+			writes = append(writes, call)
+		}
+		return true
+	})
+	if synced {
+		return
+	}
+	for _, w := range writes {
+		pass.Reportf(w.Pos(),
+			"file write in %s is never followed by Sync in this function; fsync-before-ack requires flushing before the result is acknowledged",
+			fd.Name.Name)
+	}
+}
+
+// syncable reports whether t's method set carries both Sync and a write
+// method — a real file handle rather than an in-memory buffer.
+func syncable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return hasMethod(t, "Sync") && (hasMethod(t, "Write") || hasMethod(t, "WriteString"))
+}
+
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	if f, ok := obj.(*types.Func); ok {
+		return f != nil
+	}
+	return false
+}
+
+// isIoWriteString matches io.WriteString.
+func isIoWriteString(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteString" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "io"
+}

@@ -1,0 +1,13 @@
+package syncack_test
+
+import (
+	"testing"
+
+	"repro/tools/erlint/internal/analysistest"
+	"repro/tools/erlint/internal/checkers/syncack"
+)
+
+func TestSyncack(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), syncack.Analyzer,
+		"repro/internal/persist", "other")
+}

@@ -1,0 +1,10 @@
+// Package other sits outside the durable seam; syncack leaves its direct
+// os mutation and unsynced writes alone.
+package other
+
+import "os"
+
+// Rename is fine here: only persist/serving/store route through faultfs.
+func Rename(dir string) error {
+	return os.Rename(dir+"/a", dir+"/b")
+}

@@ -1,0 +1,56 @@
+// Package persist exercises the syncack analyzer under the durable
+// layer's import path: writes to syncable handles must be fsynced in the
+// same function, and os.* mutators are off limits.
+package persist
+
+import (
+	"io"
+	"os"
+)
+
+// File is a syncable handle in the faultfs mold.
+type File struct{}
+
+// Write appends to the handle.
+func (*File) Write(p []byte) (int, error) { return len(p), nil }
+
+// WriteString appends a string.
+func (*File) WriteString(s string) (int, error) { return len(s), nil }
+
+// Sync flushes the handle.
+func (*File) Sync() error { return nil }
+
+// buffer has Write but no Sync: an in-memory staging area, not a durable
+// handle, so writes to it are unrestricted.
+type buffer struct{}
+
+// Write appends to the buffer.
+func (*buffer) Write(p []byte) (int, error) { return len(p), nil }
+
+func ackWithoutSync(f *File, rec []byte) error {
+	_, err := f.Write(rec) // want `file write in ackWithoutSync is never followed by Sync`
+	return err
+}
+
+func ackWithSync(f *File, rec []byte) error {
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func headerNoSync(f *File) {
+	_, _ = io.WriteString(f, "header") // want `file write in headerNoSync is never followed by Sync`
+}
+
+func stageInMemory(b *buffer, rec []byte) {
+	_, _ = b.Write(rec)
+}
+
+func renameDirect(dir string) error {
+	return os.Rename(dir+"/a", dir+"/b") // want `direct os.Rename bypasses the faultfs.FS seam`
+}
+
+func readOnly(path string) (*os.File, error) {
+	return os.Open(path) // reads do not mutate; allowed
+}

@@ -1,0 +1,107 @@
+// Package directive parses erlint's comment directives:
+//
+//	// erlint:immutable
+//	    on a type declaration marks the type as publish-immutable for the
+//	    immutable analyzer.
+//
+//	// erlint:ignore <reason>
+//	    suppresses every erlint diagnostic on the directive's line (and,
+//	    for a comment standing on its own line, the line below it). The
+//	    reason is mandatory: a bare erlint:ignore is itself a finding, so
+//	    suppressions can't accumulate without explanation.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	ignorePrefix    = "erlint:ignore"
+	immutableMarker = "erlint:immutable"
+)
+
+// Ignore is one erlint:ignore directive.
+type Ignore struct {
+	// Pos is the directive comment's position.
+	Pos token.Pos
+	// Line is the line the directive suppresses: the directive's own line
+	// for trailing comments, the following line for standalone comments.
+	Line int
+	// Reason is the justification text after the directive; empty means
+	// the directive is malformed.
+	Reason string
+}
+
+// Ignores collects every erlint:ignore directive in the file.
+func Ignores(fset *token.FileSet, f *ast.File) []Ignore {
+	var out []Ignore
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := directiveText(c.Text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			line := pos.Line
+			if pos.Column == 1 || standsAlone(fset, f, c) {
+				line++
+			}
+			out = append(out, Ignore{Pos: c.Pos(), Line: line, Reason: strings.TrimSpace(text)})
+		}
+	}
+	return out
+}
+
+// standsAlone reports whether comment c is the first token on its line,
+// i.e. a standalone comment applying to the line below rather than a
+// trailing comment on a line of code.
+func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cpos := fset.Position(c.Pos())
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if n.Pos() < c.Pos() && fset.Position(n.Pos()).Line == cpos.Line {
+			if _, isFile := n.(*ast.File); !isFile {
+				alone = false
+			}
+		}
+		return n.Pos() < c.Pos()
+	})
+	return alone
+}
+
+// IsImmutable reports whether the comment groups (a type's doc comment
+// and/or trailing line comment) carry an erlint:immutable marker.
+func IsImmutable(groups ...*ast.CommentGroup) bool {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if _, ok := directiveText(c.Text, immutableMarker); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directiveText matches a single comment against a directive prefix and
+// returns the text following it. "// erlint:ignoreX" does not match
+// "erlint:ignore".
+func directiveText(comment, prefix string) (string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return rest, true
+}

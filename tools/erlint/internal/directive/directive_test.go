@@ -1,0 +1,82 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+// erlint:ignore standalone reason
+var a = 1
+
+var b = 2 // erlint:ignore trailing reason
+
+// erlint:ignore
+var c = 3
+
+// erlint:immutable shared after publish
+type T struct{}
+
+// Unrelated comment mentioning erlint:ignorance is not a directive.
+var d = 4
+`
+
+func parse(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestIgnores(t *testing.T) {
+	fset, f := parse(t)
+	igs := Ignores(fset, f)
+	if len(igs) != 3 {
+		t.Fatalf("got %d ignores, want 3: %+v", len(igs), igs)
+	}
+	// A standalone ignore guards the next line; a trailing one its own.
+	want := []struct {
+		line   int
+		reason string
+	}{
+		{4, "standalone reason"},
+		{6, "trailing reason"},
+		{9, ""},
+	}
+	for i, w := range want {
+		if igs[i].Line != w.line || igs[i].Reason != w.reason {
+			t.Errorf("ignore %d = line %d reason %q, want line %d reason %q",
+				i, igs[i].Line, igs[i].Reason, w.line, w.reason)
+		}
+	}
+}
+
+func TestIsImmutable(t *testing.T) {
+	_, f := parse(t)
+	var marked, unmarked bool
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if ts.Name.Name == "T" {
+				marked = IsImmutable(gd.Doc, ts.Doc, ts.Comment)
+			}
+		}
+	}
+	unmarked = IsImmutable(nil)
+	if !marked {
+		t.Error("type T carries the marker but IsImmutable = false")
+	}
+	if unmarked {
+		t.Error("IsImmutable(nil) = true, want false")
+	}
+}

@@ -1,0 +1,106 @@
+// Package driver runs a set of analyzers over loaded packages, applies
+// the erlint:ignore directive, and produces sorted findings. It is shared
+// by the standalone binary, the go vet -vettool mode, and the integration
+// tests.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"repro/tools/erlint/internal/analysis"
+	"repro/tools/erlint/internal/directive"
+	"repro/tools/erlint/internal/load"
+)
+
+// Finding is one reportable diagnostic after directive filtering.
+type Finding struct {
+	// Analyzer names the check that produced the finding; the pseudo
+	// analyzer "directive" reports malformed erlint:ignore comments.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message is the diagnostic text.
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (erlint/%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Analyze runs every analyzer over the unit and returns the findings that
+// survive erlint:ignore filtering, plus one finding per reasonless ignore
+// directive, sorted by position.
+func Analyze(unit *load.Package, analyzers []*analysis.Analyzer) []Finding {
+	return AnalyzeFiles(unit.Fset, unit.Files, func(a *analysis.Analyzer, report func(analysis.Diagnostic)) error {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      unit.Fset,
+			Files:     unit.Files,
+			Pkg:       unit.Types,
+			TypesInfo: unit.Info,
+			Report:    report,
+		}
+		_, err := a.Run(pass)
+		return err
+	}, analyzers)
+}
+
+// AnalyzeFiles is the mode-independent core: run invokes one analyzer and
+// routes its diagnostics to report; the driver handles directive
+// collection, suppression and ordering. Analyzer failures surface as
+// findings rather than aborting the run, so one broken check cannot mask
+// the others.
+func AnalyzeFiles(fset *token.FileSet, files []*ast.File, run func(*analysis.Analyzer, func(analysis.Diagnostic)) error, analyzers []*analysis.Analyzer) []Finding {
+	type ignoreKey struct {
+		file string
+		line int
+	}
+	ignores := make(map[ignoreKey]bool)
+	var findings []Finding
+	for _, f := range files {
+		name := fset.File(f.Pos()).Name()
+		for _, ig := range directive.Ignores(fset, f) {
+			if ig.Reason == "" {
+				findings = append(findings, Finding{
+					Analyzer: "directive",
+					Pos:      fset.Position(ig.Pos),
+					Message:  "erlint:ignore requires a reason: state why the invariant does not apply here",
+				})
+				continue
+			}
+			ignores[ignoreKey{name, ig.Line}] = true
+		}
+	}
+	for _, a := range analyzers {
+		err := run(a, func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if ignores[ignoreKey{pos.Filename, pos.Line}] {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		})
+		if err != nil {
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("analyzer failed: %v", err),
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}

@@ -1,0 +1,50 @@
+package driver_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/tools/erlint/internal/checkers"
+	"repro/tools/erlint/internal/driver"
+	"repro/tools/erlint/internal/load"
+)
+
+// TestIgnoreDirective runs the full analyzer suite over the ignore
+// testdata package and checks the directive semantics end to end: reasoned
+// ignores suppress, a bare ignore both reports itself and fails to
+// suppress, and unannotated violations surface.
+func TestIgnoreDirective(t *testing.T) {
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := load.New(load.Root{Prefix: "", Dir: src})
+	units, err := loader.Load("ignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("got %d units, want 1", len(units))
+	}
+	findings := driver.Analyze(units[0], checkers.All())
+
+	byAnalyzer := map[string]int{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+		if strings.Contains(f.Message, "analyzer failed") {
+			t.Errorf("analyzer error surfaced as finding: %s", f)
+		}
+	}
+	// One directive finding for the bare ignore; two errwrap findings: the
+	// bare-ignored Errorf (a reasonless ignore suppresses nothing) and the
+	// un-ignored comparison in reported.
+	if byAnalyzer["directive"] != 1 || byAnalyzer["errwrap"] != 2 || len(findings) != 3 {
+		t.Errorf("findings = %v, want 1 directive + 2 errwrap", findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer == "directive" && !strings.Contains(f.Message, "requires a reason") {
+			t.Errorf("directive finding message = %q, want a requires-a-reason explanation", f.Message)
+		}
+	}
+}

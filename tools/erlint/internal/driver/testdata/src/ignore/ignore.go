@@ -1,0 +1,29 @@
+// Package ignore exercises the erlint:ignore directive: a reasoned ignore
+// suppresses findings on its line (or the next), a bare ignore is itself
+// a finding and suppresses nothing.
+package ignore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a sentinel for the comparisons below.
+var ErrGone = errors.New("gone")
+
+func suppressedTrailing(err error) {
+	_ = fmt.Errorf("load: %v", err) // erlint:ignore kept unwrapped on purpose as directive-test fodder
+}
+
+func suppressedStandalone(err error) bool {
+	// erlint:ignore equality is the behavior under test here
+	return err == ErrGone
+}
+
+func bareIgnore(err error) {
+	_ = fmt.Errorf("load: %v", err) // erlint:ignore
+}
+
+func reported(err error) bool {
+	return err == ErrGone
+}

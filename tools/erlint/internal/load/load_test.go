@@ -1,0 +1,68 @@
+package load
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadUnits loads the x testdata package and checks the unit split:
+// the base unit holds the package plus its in-package test file, the
+// external test package arrives as a second unit, and both are fully
+// type-checked with std imports resolved from GOROOT source.
+func TestLoadUnits(t *testing.T) {
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := New(Root{Prefix: "", Dir: src})
+	units, err := loader.Load("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("got %d units, want base + external test", len(units))
+	}
+
+	base, ext := units[0], units[1]
+	if base.Path != "x" || len(base.Files) != 2 {
+		t.Errorf("base unit = %s with %d files, want x with 2", base.Path, len(base.Files))
+	}
+	if ext.Path != "x_test" || len(ext.Files) != 1 {
+		t.Errorf("external unit = %s with %d files, want x_test with 1", ext.Path, len(ext.Files))
+	}
+	for _, u := range units {
+		if u.Types == nil || u.Info == nil || len(u.Info.Defs) == 0 {
+			t.Errorf("unit %s missing type information", u.Path)
+		}
+	}
+	if base.Types.Scope().Lookup("Greet") == nil {
+		t.Error("base unit does not export Greet")
+	}
+
+	// The import-facing view must exclude test files and be memoized.
+	p1, err := loader.Import("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := loader.Import("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("Import(x) not memoized")
+	}
+	if p1.Scope().Lookup("TestGreetInPackage") != nil {
+		t.Error("import view includes test file declarations")
+	}
+}
+
+// TestLoadMissing checks the error path for unresolvable packages.
+func TestLoadMissing(t *testing.T) {
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Root{Prefix: "", Dir: src}).Load("nope/missing"); err == nil {
+		t.Fatal("Load of missing package succeeded")
+	}
+}

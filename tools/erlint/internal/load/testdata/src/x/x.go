@@ -1,0 +1,8 @@
+// Package x is loader test fodder: one std import, one exported
+// function, in-package and external tests alongside.
+package x
+
+import "fmt"
+
+// Greet returns a greeting.
+func Greet(name string) string { return fmt.Sprintf("hi %s", name) }

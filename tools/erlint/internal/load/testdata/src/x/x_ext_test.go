@@ -1,0 +1,13 @@
+package x_test
+
+import (
+	"testing"
+
+	"x"
+)
+
+func TestGreetExternal(t *testing.T) {
+	if got := x.Greet("ext"); got != "hi ext" {
+		t.Fatalf("Greet = %q", got)
+	}
+}

@@ -1,0 +1,9 @@
+package x
+
+import "testing"
+
+func TestGreetInPackage(t *testing.T) {
+	if got := Greet("in"); got != "hi in" {
+		t.Fatalf("Greet = %q", got)
+	}
+}

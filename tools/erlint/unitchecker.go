@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/tools/erlint/internal/analysis"
+	"repro/tools/erlint/internal/checkers"
+	"repro/tools/erlint/internal/driver"
+)
+
+// vetConfig is the per-package JSON file cmd/go hands a -vettool, one
+// invocation per package in the dependency graph.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	GoVersion                 string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by a vet.cfg file. For
+// dependency packages (VetxOnly) it only records the facts file go vet
+// expects; erlint's analyzers are package-local, so that file is always
+// empty.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "erlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if cfg.VetxOnly {
+		return writeVetx(&cfg, 0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(&cfg, 0)
+			}
+			fmt.Fprintln(os.Stderr, "erlint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports from the compiler's export data, as recorded in the
+	// config's vendor/ImportMap tables; this keeps vettool mode coherent
+	// with exactly what the build graph compiled.
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if actual, ok := cfg.ImportMap[path]; ok {
+			path = actual
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", "amd64"),
+	}
+	// Test-variant packages carry IDs like "p [p.test]"; analyzers match on
+	// the import path proper.
+	pkgPath, _, _ := strings.Cut(cfg.ImportPath, " ")
+	pkg, err := tcfg.Check(pkgPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(&cfg, 0)
+		}
+		fmt.Fprintln(os.Stderr, "erlint:", err)
+		return 2
+	}
+
+	findings := driver.AnalyzeFiles(fset, files, func(a *analysis.Analyzer, report func(analysis.Diagnostic)) error {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    report,
+		}
+		_, err := a.Run(pass)
+		return err
+	}, checkers.All())
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	exit := 0
+	if len(findings) > 0 {
+		exit = 2
+	}
+	return writeVetx(&cfg, exit)
+}
+
+// writeVetx records the (empty) facts output go vet requires before it
+// will treat the invocation as complete, then returns exit.
+func writeVetx(cfg *vetConfig, exit int) int {
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("erlint"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "erlint:", err)
+			return 2
+		}
+	}
+	return exit
+}
