@@ -1,17 +1,20 @@
-// Command benchjson measures the three numbers the project tracks across
+// Command benchjson measures the numbers the project tracks across
 // releases — ingest-plus-blocking throughput, incremental (delta) resolve
-// latency, and read-path lookup throughput — and writes them as one JSON
-// object. The committed BENCH_v7.json at the repo root is this command's
-// output on the reference machine; CI re-runs it and fails on a >30%
-// regression against the committed numbers.
+// latency, read-path lookup throughput, and the ANN candidate index's
+// delta-ingest throughput with its candidate recall against exact canopy
+// — and writes them as one JSON object. The committed BENCH_v10.json at
+// the repo root is this command's output on the reference machine; CI
+// re-runs it and fails on a >30% throughput/latency regression against
+// the committed numbers, and on ANN recall below its absolute floor.
 //
-//	go run ./cmd/benchjson -out BENCH_v7.json
+//	go run ./cmd/benchjson -out BENCH_v10.json
 //
 // The workload is deterministic (fixed seeds), so run-to-run variance
 // comes from the machine, not the data.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -19,8 +22,10 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/blocking"
 	"repro/internal/corpus"
+	"repro/internal/eval"
 	"repro/internal/pipeline"
 	"repro/internal/serving"
 	"repro/internal/store"
@@ -40,23 +45,43 @@ type BenchReport struct {
 	// LookupsPerSec is single-threaded serving-index lookups per second
 	// (alternating doc-ref and entity-ID lookups).
 	LookupsPerSec float64 `json:"lookups_per_sec"`
+	// ANNBlockDocsPerSec is documents per second through the Block stage
+	// served by the ANN candidate index in the delta-ingest case: the
+	// graph already holds all but the last 5 documents of each collection,
+	// so each timed pass pays only the delta insertion plus block
+	// assembly over the whole corpus (canopy scheme).
+	ANNBlockDocsPerSec float64 `json:"ann_block_docs_per_sec"`
+	// ANNRecall is the candidate pair recall of those ANN blocks against
+	// the exact canopy blocks on the same corpus — the quantity the
+	// sublinear index trades for throughput. Gated as an absolute floor,
+	// not a relative regression.
+	ANNRecall float64 `json:"ann_recall"`
 	// Shape records the workload so the numbers are comparable.
 	Collections int `json:"collections"`
 	Docs        int `json:"docs"`
 	Lookups     int `json:"lookups"`
+	ANNDocs     int `json:"ann_docs"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "-", "output file (- = stdout)")
-		nCols   = flag.Int("collections", 24, "generated collections")
-		nDocs   = flag.Int("docs", 40, "documents per collection")
-		lookups = flag.Int("lookups", 2_000_000, "read-path lookups to time")
+		out      = flag.String("out", "-", "output file (- = stdout)")
+		nCols    = flag.Int("collections", 24, "generated collections")
+		nDocs    = flag.Int("docs", 40, "documents per collection")
+		lookups  = flag.Int("lookups", 2_000_000, "read-path lookups to time")
+		annCols  = flag.Int("ann-collections", 60, "collections in the ANN corpus")
+		annDocs  = flag.Int("ann-docs", 50, "documents per ANN collection")
+		annIters = flag.Int("ann-iters", 8, "timed ANN delta-ingest passes")
+		annEf    = flag.Int("ann-ef", 0, "ANN neighbor-query beam width (0 = package default)")
 	)
 	flag.Parse()
 
 	rep, err := run(*nCols, *nDocs, *lookups)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := annBench(rep, *annCols, *annDocs, *annIters, *annEf); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -193,7 +218,7 @@ func run(nCols, nDocs, lookups int) (*BenchReport, error) {
 	}
 
 	return &BenchReport{
-		Schema:                "bench_v7",
+		Schema:                "bench_v10",
 		IngestBlockDocsPerSec: float64(total) / ingestSecs,
 		DeltaResolveMillis:    deltaMillis,
 		LookupsPerSec:         float64(2*(lookups/2)) / lookupSecs,
@@ -201,4 +226,117 @@ func run(nCols, nDocs, lookups int) (*BenchReport, error) {
 		Docs:                  total,
 		Lookups:               2 * (lookups / 2),
 	}, nil
+}
+
+// annCorpus builds the ANN workload: name collections with token overlap
+// across collection names (shared given names and surnames, occasional
+// middle initials), a "base" prefix holding all but the last 5 documents
+// of each, and the full union one ingest batch later. It mirrors the
+// corpus of the pipeline ANN benchmarks so the committed numbers and
+// `go test -bench` agree on the workload family.
+func annCorpus(nCols, nDocs int) (base, full []*corpus.Collection, docs int, err error) {
+	surnames := []string{"smith", "rivera", "cohen", "tanaka", "okafor", "larsen"}
+	given := []string{"john", "maria", "wei", "amara", "erik", "fatima", "david", "yuki"}
+	for i := 0; i < nCols; i++ {
+		name := fmt.Sprintf("%s %s", given[i%len(given)], surnames[i%len(surnames)])
+		if i%3 == 0 {
+			name = fmt.Sprintf("%s %c %s", given[i%len(given)], 'a'+rune(i%26), surnames[i%len(surnames)])
+		}
+		col, err := corpus.GenerateCollection(corpus.CollectionConfig{
+			Name: name, NumDocs: nDocs, NumPersonas: 3,
+			Noise: 0.4, MissingInfo: 0.2, Spurious: 0.2, Seed: int64(7000 + i),
+		})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		full = append(full, col)
+		base = append(base, &corpus.Collection{
+			Name: col.Name, Docs: col.Docs[:len(col.Docs)-5], NumPersonas: col.NumPersonas,
+		})
+		docs += len(col.Docs)
+	}
+	return base, full, docs, nil
+}
+
+// flattenMembers maps member refs to flattened document indices for the
+// recall metric.
+func flattenMembers(cols []*corpus.Collection, members [][]pipeline.DocRef) [][]int {
+	offset := make([]int, len(cols))
+	off := 0
+	for ci, col := range cols {
+		offset[ci] = off
+		off += len(col.Docs)
+	}
+	out := make([][]int, len(members))
+	for i, mem := range members {
+		out[i] = make([]int, len(mem))
+		for j, ref := range mem {
+			out[i][j] = offset[ref.Col] + ref.Doc
+		}
+	}
+	return out
+}
+
+// annBench fills in the ANN fields of the report: iters timed Block
+// passes over the full corpus with the base graph restored (untimed)
+// before each, then one recall comparison of the warm graph's blocks
+// against the exact canopy pass.
+func annBench(rep *BenchReport, nCols, nDocs, iters, efSearch int) error {
+	ctx := context.Background()
+	base, full, docs, err := annCorpus(nCols, nDocs)
+	if err != nil {
+		return err
+	}
+	scheme, err := blocking.ParseScheme("canopy")
+	if err != nil {
+		return err
+	}
+	approx, ok := scheme.(blocking.ApproxScheme)
+	if !ok {
+		return fmt.Errorf("canopy lost its approximation policy")
+	}
+	cfg := ann.Config{Scheme: approx, EfSearch: efSearch}
+	seed, err := ann.New(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := seed.Update(base); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if _, err := seed.EncodeTo(&buf); err != nil {
+		return err
+	}
+	encoded := buf.Bytes()
+
+	var ab *pipeline.ANNBlocker
+	var timed time.Duration
+	for i := 0; i < iters; i++ {
+		idx, err := ann.Decode(bytes.NewReader(encoded), cfg)
+		if err != nil {
+			return err
+		}
+		ab = pipeline.NewANNBlockerWith(idx)
+		start := time.Now()
+		if _, err := ab.BlockFingerprints(ctx, full); err != nil {
+			return err
+		}
+		timed += time.Since(start)
+	}
+
+	// The last blocker's graph is warm (delta already inserted), so this
+	// membership pass measures recall of the steady-state index.
+	_, annMembers, err := ab.BlockMembership(ctx, full)
+	if err != nil {
+		return err
+	}
+	_, exactMembers, err := pipeline.NewSchemeBlocker(approx).BlockMembership(ctx, full)
+	if err != nil {
+		return err
+	}
+	rep.ANNBlockDocsPerSec = float64(docs*iters) / timed.Seconds()
+	rep.ANNRecall = eval.CandidateRecall(
+		flattenMembers(full, exactMembers), flattenMembers(full, annMembers))
+	rep.ANNDocs = docs
+	return nil
 }

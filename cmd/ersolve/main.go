@@ -8,7 +8,8 @@
 //	ersolve -in dataset.json [-strategy best|threshold|weighted|majority]
 //	        [-clustering closure|correlation]
 //	        [-blocking exact|token|sortedneighborhood|canopy]
-//	        [-keys collection|names] [-block-shards 16]
+//	        [-blocking-mode exact|ann] [-ann-m 12] [-ann-ef 64]
+//	        [-keys collection|names|urlhost|phonetic] [-block-shards 16]
 //	        [-train 0.10] [-regions 10] [-seed N] [-score] [-members]
 //	ersolve serve [-addr :8476] [-timeout 30s] [-max-body 33554432]
 //	        [-queue 64] [-drain 10s] [-data DIR] [-job-history 1024]
@@ -77,7 +78,10 @@ func main() {
 		strategy   = flag.String("strategy", "best", "best | threshold | weighted | majority")
 		clustering = flag.String("clustering", "closure", "closure | correlation")
 		blockingF  = flag.String("blocking", "exact", "exact | token | sortedneighborhood | canopy")
-		keysF      = flag.String("keys", "collection", "blocking keys: collection | names")
+		modeF      = flag.String("blocking-mode", "exact", "block-stage implementation: exact | ann (ann needs -blocking canopy or sortedneighborhood)")
+		annM       = flag.Int("ann-m", 0, "ANN graph degree bound (0 = default 12; with -blocking-mode ann)")
+		annEf      = flag.Int("ann-ef", 0, "ANN neighbor-query beam width, the recall knob (0 = default 64; with -blocking-mode ann)")
+		keysF      = flag.String("keys", "collection", "blocking keys: collection | names | urlhost | phonetic")
 		shards     = flag.Int("block-shards", 0, "sharded blocking index partitions (0 = default)")
 		train      = flag.Float64("train", 0.10, "training fraction")
 		regionK    = flag.Int("regions", 10, "accuracy-estimation regions")
@@ -125,11 +129,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ersolve: -keys:", err)
 		os.Exit(2)
 	}
+	if *modeF != "ann" && (*annM != 0 || *annEf != 0) {
+		fmt.Fprintln(os.Stderr, "ersolve: -ann-m/-ann-ef apply only with -blocking-mode ann")
+		os.Exit(2)
+	}
+	if *annM < 0 || *annM == 1 {
+		fmt.Fprintf(os.Stderr, "ersolve: -ann-m: %d is not a usable graph degree; need 0 (default) or at least 2\n", *annM)
+		os.Exit(2)
+	}
+	if *annEf < 0 {
+		fmt.Fprintf(os.Stderr, "ersolve: -ann-ef: %d is out of range; need 0 (default) or a positive beam width\n", *annEf)
+		os.Exit(2)
+	}
 	// Key-based schemes block through the sharded index (the incremental
-	// Block stage); global schemes keep the per-run pass.
-	blocker, err := pipeline.NewBlocker(scheme, keyFn, *shards)
+	// Block stage); global schemes keep the per-run pass in exact mode
+	// and the approximate candidate graph with -blocking-mode ann.
+	blocker, err := pipeline.NewModeBlocker(*modeF, scheme, keyFn, *shards,
+		pipeline.ANNOptions{M: *annM, EfSearch: *annEf})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ersolve: -blocking:", err)
+		fmt.Fprintln(os.Stderr, "ersolve: -blocking-mode:", err)
 		os.Exit(2)
 	}
 
@@ -300,6 +318,7 @@ func runServe(ctx context.Context, args []string) error {
 			cfg.Store = d.Store
 			cfg.Snapshots = d.Snapshots
 			cfg.Indexes = d.Indexes
+			cfg.ANNIndexes = d.ANN
 			cfg.Serving = d.Serving
 			mu.Lock()
 			data = d

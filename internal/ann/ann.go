@@ -1,0 +1,571 @@
+// Package ann is the incremental approximate-nearest-neighbor candidate
+// index behind the global blocking schemes (canopy, sorted neighborhood).
+// The exact schemes compare every record pair — O(N²) per run, the last
+// O(corpus) path in the Block stage — while this index inserts each new
+// document into a layered proximity graph (HNSW: Malkov & Yashunin) once
+// and discovers its candidate partners with a near-logarithmic neighbor
+// query. The scheme's blocking.ApproxPolicy turns the query results into
+// candidate edges, an incremental union-find folds the edges into
+// key-connected components, and the components feed RunIncremental as
+// membership-fingerprinted blocks exactly like the sharded key index —
+// so the resolve path downstream of the Block stage cannot tell the two
+// apart.
+//
+// Documents are embedded as binary token-set vectors over their
+// normalized blocking keys (the same token set canopy's exact Jaccard
+// compares), and every similarity that accepts or rejects an edge is an
+// exact textsim.PackedCosine over those vectors — the graph only decides
+// which pairs get examined, never how they score. On binary sets cosine
+// bounds Jaccard from above, so a pair the exact canopy links is only
+// ever missed by not being surfaced among the efSearch nearest; recall is
+// the single quantity the approximation trades, and the eval harness
+// measures it against the exact scheme.
+//
+// Determinism: graph levels are drawn from each document's content hash
+// (blocking.DocHash), neighbor selection breaks distance ties by insertion
+// id, and vocabulary interning follows insertion order — so the same
+// corpus ingested in the same order builds the same graph, the same
+// edges, and the same blocks on every run. Batch splits that keep the
+// flattened (collection, position) order — whole collections per batch,
+// or growth confined to the tail collection — reproduce the one-shot
+// build exactly; other append-only splits stay correct and
+// recall-governed but may link through different neighbors than a fresh
+// rebuild would.
+package ann
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/blockindex"
+	"repro/internal/blocking"
+	"repro/internal/corpus"
+	"repro/internal/ergraph"
+	"repro/internal/textsim"
+)
+
+// DocRef addresses one document by collection and position, shared with
+// the sharded key index so the pipeline assembles both the same way.
+type DocRef = blockindex.DocRef
+
+// KeyFunc derives a document's blocking keys, shared with the key index.
+type KeyFunc = blockindex.KeyFunc
+
+// Graph parameter defaults. M is the per-node degree bound (layer 0
+// keeps 2M); EfConstruction sizes the candidate beam while linking a new
+// node; EfSearch sizes the neighbor query the candidate edges come from.
+// Larger ef raises recall and cost roughly linearly.
+const (
+	DefaultM              = 12
+	DefaultEfConstruction = 100
+	DefaultEfSearch       = 64
+)
+
+// maxGraphLevel caps the level draw; beyond this a level adds nothing at
+// any plausible corpus size.
+const maxGraphLevel = 30
+
+// ErrOutOfSync reports a corpus that is not an append-only extension of
+// what the index has already seen — same semantics as the key index.
+var ErrOutOfSync = errors.New("ann: index is out of sync with the offered corpus")
+
+// Config assembles a CandidateIndex.
+type Config struct {
+	// Scheme is the global scheme being approximated; its ApproxPolicy
+	// decides which queried neighbors become candidate edges.
+	Scheme blocking.ApproxScheme
+	// Keys derives each document's blocking keys; nil selects the
+	// collection-name KeyFunc.
+	Keys KeyFunc
+	// M, EfConstruction and EfSearch are the graph knobs; zero selects
+	// the package defaults. M must be at least 2.
+	M              int
+	EfConstruction int
+	EfSearch       int
+	// Workers bounds the delta-keying worker pool; zero selects
+	// GOMAXPROCS.
+	Workers int
+}
+
+// withDefaults resolves the zero knobs.
+func (c Config) withDefaults() Config {
+	if c.Keys == nil {
+		c.Keys = blockindex.CollectionNameKey
+	}
+	if c.M == 0 {
+		c.M = DefaultM
+	}
+	if c.EfConstruction == 0 {
+		c.EfConstruction = DefaultEfConstruction
+	}
+	if c.EfSearch == 0 {
+		c.EfSearch = DefaultEfSearch
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// UpdateStats reports what one Update changed.
+type UpdateStats struct {
+	// DeltaDocs is the number of newly inserted documents.
+	DeltaDocs int
+	// IndexedDocs is the total document count after the update.
+	IndexedDocs int
+	// DirtyBlocks is the number of blocks whose membership changed:
+	// components that gained a document or merged.
+	DirtyBlocks int
+	// Blocks is the total number of blocks after the update.
+	Blocks int
+	// Edges is the total number of component-merging candidate edges.
+	Edges int
+	// M and EfSearch echo the graph knobs for stats reporting.
+	M        int
+	EfSearch int
+}
+
+// colState tracks how much of one collection is indexed.
+type colState struct {
+	name    string
+	indexed int
+}
+
+// docState is one inserted document: its stable position and content
+// hash (blocking.DocHash), computed once at insertion time.
+type docState struct {
+	ref  DocRef
+	hash uint64
+}
+
+// blockEntry caches one component's derived state — member refs sorted
+// by (Col, Doc) and the membership fingerprint over the members' content
+// hashes in that order — invalidated when the component changes.
+type blockEntry struct {
+	refs []DocRef
+	fp   uint64
+}
+
+// CandidateIndex is the incremental HNSW candidate index. All methods
+// are safe for concurrent use; calls serialize on one mutex, like the
+// sharded key index.
+type CandidateIndex struct {
+	mu      sync.Mutex
+	scheme  blocking.ApproxScheme
+	policy  blocking.ApproxPolicy
+	keys    KeyFunc
+	m       int
+	efCons  int
+	efSrch  int
+	workers int
+	levelML float64 // 1/ln(M), the level-draw scale
+
+	vocab *textsim.Vocab
+	cols  []colState
+	docs  []docState
+	vecs  []*textsim.PackedVector
+	// primary maps each distinct key vector (by vecKey) to the first node
+	// that carries it — the only node with that vector that lives in the
+	// graph. Later documents with an identical vector stay out of the
+	// adjacency lists (a flood of zero-distance copies would evict every
+	// bridge out of the cluster under the degree bound and disconnect the
+	// graph) and instead join the primary's component through one
+	// candidate edge.
+	primary map[string]int32
+	// levels[id] is the node's top layer; neighbors[id][l] its adjacency
+	// at layer l (l <= levels[id]).
+	levels    []int32
+	neighbors [][][]int32
+	entry     int32 // entry point node, -1 while empty
+	maxLevel  int32
+
+	// edges is the append-only log of component-merging candidate edges —
+	// a spanning forest of the block graph, replayed on decode to rebuild
+	// the union-find.
+	edges   [][2]int32
+	uf      *ergraph.UnionFind
+	members [][]int32 // element → member ids while a root, nil otherwise
+	blocks  map[int32]*blockEntry
+
+	version uint64
+}
+
+// New assembles an empty index.
+func New(cfg Config) (*CandidateIndex, error) {
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("ann: config has no approximable scheme")
+	}
+	if v, ok := cfg.Scheme.(blocking.Validator); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.M < 0 || cfg.M == 1 {
+		return nil, fmt.Errorf("ann: graph degree M=%d cannot hold a proximity graph (want >= 2, or 0 for the default)", cfg.M)
+	}
+	if cfg.EfConstruction < 0 || cfg.EfSearch < 0 {
+		return nil, fmt.Errorf("ann: negative ef (construction %d, search %d)", cfg.EfConstruction, cfg.EfSearch)
+	}
+	cfg = cfg.withDefaults()
+	return &CandidateIndex{
+		scheme:  cfg.Scheme,
+		policy:  cfg.Scheme.ApproxPolicy(),
+		keys:    cfg.Keys,
+		m:       cfg.M,
+		efCons:  cfg.EfConstruction,
+		efSrch:  cfg.EfSearch,
+		workers: cfg.Workers,
+		levelML: 1 / math.Log(float64(cfg.M)),
+		vocab:   textsim.NewVocab(),
+		primary: make(map[string]int32),
+		entry:   -1,
+		uf:      ergraph.NewUnionFind(0),
+		blocks:  make(map[int32]*blockEntry),
+	}, nil
+}
+
+// Version counts inserted documents; it increases exactly when the index
+// changes, so equal versions mean equal indexes (for one configuration).
+func (x *CandidateIndex) Version() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.version
+}
+
+// Workers returns the worker-pool bound, fixed at construction.
+func (x *CandidateIndex) Workers() int { return x.workers }
+
+// Update inserts every document of cols not yet indexed and returns what
+// changed. cols must be the same append-only corpus the index has seen
+// so far; anything else is ErrOutOfSync.
+func (x *CandidateIndex) Update(cols []*corpus.Collection) (UpdateStats, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.update(cols)
+}
+
+func (x *CandidateIndex) update(cols []*corpus.Collection) (UpdateStats, error) {
+	if len(cols) < len(x.cols) {
+		return UpdateStats{}, fmt.Errorf("%w: %d collections indexed, %d offered",
+			ErrOutOfSync, len(x.cols), len(cols))
+	}
+	for i := range cols {
+		if cols[i] == nil {
+			return UpdateStats{}, fmt.Errorf("ann: nil collection at %d", i)
+		}
+		if i < len(x.cols) {
+			if cols[i].Name != x.cols[i].name {
+				return UpdateStats{}, fmt.Errorf("%w: collection %d is %q, index has %q",
+					ErrOutOfSync, i, cols[i].Name, x.cols[i].name)
+			}
+			if len(cols[i].Docs) < x.cols[i].indexed {
+				return UpdateStats{}, fmt.Errorf("%w: collection %q shrank from %d to %d documents",
+					ErrOutOfSync, cols[i].Name, x.cols[i].indexed, len(cols[i].Docs))
+			}
+		}
+	}
+
+	// Gather the delta in ingest order.
+	type newDoc struct {
+		ref    DocRef
+		tokens []string
+		hash   uint64
+	}
+	var delta []newDoc
+	for ci, col := range cols {
+		start := 0
+		if ci < len(x.cols) {
+			start = x.cols[ci].indexed
+		}
+		for di := start; di < len(col.Docs); di++ {
+			delta = append(delta, newDoc{ref: DocRef{Col: ci, Doc: di}})
+		}
+	}
+
+	stats := UpdateStats{M: x.m, EfSearch: x.efSrch}
+	if len(delta) > 0 {
+		// Key, tokenize and hash the delta in parallel — with rich key
+		// functions (extracted person names) this is the expensive part.
+		// Graph insertion below is sequential: determinism requires a
+		// fixed insertion order, and the vocabulary interns as it goes.
+		blockindex.Parallel(x.workers, len(delta), func(i int) {
+			d := &delta[i]
+			col := cols[d.ref.Col]
+			doc := col.Docs[d.ref.Doc]
+			d.tokens = strings.Fields(blocking.NormalizeKey(strings.Join(x.keys(col, doc), " ")))
+			d.hash = blocking.DocHash(col.Name, d.ref.Doc, doc.URL, doc.Text, doc.PersonaID)
+		})
+
+		firstID := len(x.docs)
+		for i := range delta {
+			d := &delta[i]
+			// Binary token-set vector: the support canopy's exact Jaccard
+			// compares, packed through the index vocabulary.
+			sv := make(textsim.SparseVector, len(d.tokens))
+			for _, tok := range d.tokens {
+				sv[tok] = 1
+			}
+			id := int32(x.uf.Add())
+			x.docs = append(x.docs, docState{ref: d.ref, hash: d.hash})
+			vec := sv.Pack(x.vocab)
+			x.vecs = append(x.vecs, vec)
+			key := vecKey(vec)
+			if prim, dup := x.primary[key]; dup {
+				// Exact-duplicate key vector: the graph already holds
+				// this point. The copy stays out of the graph — one
+				// candidate edge to the primary carries it into the
+				// component, and searches keep finding the primary.
+				x.levels = append(x.levels, 0)
+				x.neighbors = append(x.neighbors, make([][]int32, 1))
+				x.members = append(x.members, []int32{id})
+				x.applyPolicy(id, []distNode{{dist: x.distTo(vec, prim), id: prim}})
+				continue
+			}
+			x.primary[key] = id
+			level := levelFor(d.hash, x.levelML)
+			x.levels = append(x.levels, level)
+			x.neighbors = append(x.neighbors, make([][]int32, level+1))
+			x.members = append(x.members, []int32{id})
+
+			// Insert into the graph; the layer-0 beam doubles as the
+			// neighbor query the candidate edges come from.
+			x.applyPolicy(id, x.insert(id))
+		}
+		// Every candidate edge links a new document to an existing one, so
+		// the dirty set is exactly the delta's components.
+		dirty := make(map[int]bool)
+		for id := firstID; id < len(x.docs); id++ {
+			root := x.uf.Find(id)
+			dirty[root] = true
+			delete(x.blocks, int32(root))
+		}
+		stats.DirtyBlocks = len(dirty)
+	}
+
+	// Record the new high-water marks.
+	for ci, col := range cols {
+		if ci < len(x.cols) {
+			x.cols[ci].indexed = len(col.Docs)
+		} else {
+			x.cols = append(x.cols, colState{name: col.Name, indexed: len(col.Docs)})
+		}
+	}
+	x.version += uint64(len(delta))
+
+	stats.DeltaDocs = len(delta)
+	stats.IndexedDocs = len(x.docs)
+	stats.Blocks = x.uf.Sets()
+	stats.Edges = len(x.edges)
+	return stats, nil
+}
+
+// vecKey is the canonical byte string of a packed vector — term ids and
+// weights in their sorted order — used to detect exact-duplicate key
+// vectors at insertion time. Term ids are interned in lexicographic
+// order through one vocabulary, so equal keys mean equal token sets.
+func vecKey(p *textsim.PackedVector) string {
+	buf := make([]byte, 0, 12*p.Len())
+	for i, id := range p.IDs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Weights[i]))
+	}
+	return string(buf)
+}
+
+// applyPolicy turns one insertion's neighbor query results (nearest
+// first) into candidate edges under the scheme's policy, merging the
+// document's component with each accepted neighbor's.
+func (x *CandidateIndex) applyPolicy(id int32, cand []distNode) {
+	if x.policy.MaxNeighbors > 0 && len(cand) > x.policy.MaxNeighbors {
+		cand = cand[:x.policy.MaxNeighbors]
+	}
+	if len(cand) > x.efSrch {
+		cand = cand[:x.efSrch]
+	}
+	q := x.vecs[id]
+	for _, n := range cand {
+		if x.policy.MinSim > 0 && textsim.PackedCosine(q, x.vecs[n.id]) < x.policy.MinSim {
+			// cand is ordered nearest-first and distance is exactly
+			// 1-cosine, so every later neighbor fails the threshold too.
+			break
+		}
+		root, absorbed, merged := x.uf.Merge(int(id), int(n.id))
+		if merged {
+			x.members[root] = append(x.members[root], x.members[absorbed]...)
+			x.members[absorbed] = nil
+			delete(x.blocks, int32(root))
+			delete(x.blocks, int32(absorbed))
+			x.edges = append(x.edges, [2]int32{id, n.id})
+		}
+	}
+}
+
+// Membership returns every block's member refs and membership
+// fingerprint, in block order: blocks ordered by their smallest member's
+// (Col, Doc) position, members ascending the same way. Only components
+// the last Update dirtied are re-sorted and re-hashed; the rest come
+// from the cache. The returned slices are shared with the cache and must
+// not be mutated.
+func (x *CandidateIndex) Membership() ([][]DocRef, []uint64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.membership()
+}
+
+// UpdateMembership inserts cols' delta and returns the resulting block
+// membership as one atomic operation, so the returned refs lie within
+// cols even when concurrent updaters (the background warmer) are
+// advancing the index.
+func (x *CandidateIndex) UpdateMembership(cols []*corpus.Collection) (UpdateStats, [][]DocRef, []uint64, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	stats, err := x.update(cols)
+	if err != nil {
+		return stats, nil, nil, err
+	}
+	refs, fps := x.membership()
+	return stats, refs, fps, nil
+}
+
+// membership materializes the block order; callers hold x.mu.
+func (x *CandidateIndex) membership() ([][]DocRef, []uint64) {
+	entries := x.entries()
+	refs := make([][]DocRef, len(entries))
+	fps := make([]uint64, len(entries))
+	for i, e := range entries {
+		refs[i] = e.refs
+		fps[i] = e.fp
+	}
+	return refs, fps
+}
+
+// MembershipOf computes the membership of an arbitrary corpus under this
+// index's configuration without touching its state — a one-off full pass
+// through a throwaway index, the fallback for corpora the incremental
+// state cannot serve (a snapshot older than what the index has seen).
+func (x *CandidateIndex) MembershipOf(cols []*corpus.Collection) ([][]DocRef, []uint64, error) {
+	x.mu.Lock()
+	cfg := Config{Scheme: x.scheme, Keys: x.keys, M: x.m,
+		EfConstruction: x.efCons, EfSearch: x.efSrch, Workers: x.workers}
+	x.mu.Unlock()
+	tmp, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := tmp.Update(cols); err != nil {
+		return nil, nil, err
+	}
+	refs, fps := tmp.Membership()
+	return refs, fps, nil
+}
+
+// entries materializes the block cache for every live component and
+// returns the entries in block order. Callers hold x.mu.
+func (x *CandidateIndex) entries() []*blockEntry {
+	var missing []int32
+	roots := make([]int32, 0, x.uf.Sets())
+	for id := range x.members {
+		if x.members[id] == nil {
+			continue
+		}
+		root := int32(id)
+		roots = append(roots, root)
+		if _, ok := x.blocks[root]; !ok {
+			missing = append(missing, root)
+		}
+	}
+
+	built := make([]*blockEntry, len(missing))
+	blockindex.Parallel(x.workers, len(missing), func(i int) {
+		built[i] = x.buildEntry(missing[i])
+	})
+	for i, root := range missing {
+		x.blocks[root] = built[i]
+	}
+
+	entries := make([]*blockEntry, len(roots))
+	for i, root := range roots {
+		entries[i] = x.blocks[root]
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return refLess(entries[i].refs[0], entries[j].refs[0])
+	})
+	return entries
+}
+
+// buildEntry sorts one component's members by position and folds their
+// content hashes into the membership fingerprint. Reads only immutable
+// per-doc state, so it is safe to run in parallel for disjoint roots.
+func (x *CandidateIndex) buildEntry(root int32) *blockEntry {
+	ids := x.members[root]
+	refs := make([]DocRef, len(ids))
+	order := make([]int32, len(ids))
+	copy(order, ids)
+	sort.Slice(order, func(i, j int) bool {
+		return refLess(x.docs[order[i]].ref, x.docs[order[j]].ref)
+	})
+	hashes := make([]uint64, len(order))
+	for i, id := range order {
+		refs[i] = x.docs[id].ref
+		hashes[i] = x.docs[id].hash
+	}
+	return &blockEntry{refs: refs, fp: blocking.CombineIDs(hashes)}
+}
+
+// refLess orders refs by (Col, Doc) — flattened ingest order.
+func refLess(a, b DocRef) bool {
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	return a.Doc < b.Doc
+}
+
+// Stats describes the index's current shape.
+type Stats struct {
+	// Docs is the number of inserted documents.
+	Docs int `json:"docs"`
+	// Collections is the number of indexed collections.
+	Collections int `json:"collections"`
+	// Blocks is the number of candidate-connected components.
+	Blocks int `json:"blocks"`
+	// Edges is the number of component-merging candidate edges.
+	Edges int `json:"edges"`
+	// Terms is the vocabulary size the vectors are packed over.
+	Terms int `json:"terms"`
+	// MaxLevel is the top graph layer in use.
+	MaxLevel int `json:"max_level"`
+	// M, EfConstruction and EfSearch are the graph knobs.
+	M              int `json:"m"`
+	EfConstruction int `json:"ef_construction"`
+	EfSearch       int `json:"ef_search"`
+	// Version counts inserted documents.
+	Version uint64 `json:"version"`
+}
+
+// Stats reports the index's current shape.
+func (x *CandidateIndex) Stats() Stats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	maxLevel := 0
+	if x.entry >= 0 {
+		maxLevel = int(x.maxLevel)
+	}
+	return Stats{
+		Docs:           len(x.docs),
+		Collections:    len(x.cols),
+		Blocks:         x.uf.Sets(),
+		Edges:          len(x.edges),
+		Terms:          x.vocab.Len(),
+		MaxLevel:       maxLevel,
+		M:              x.m,
+		EfConstruction: x.efCons,
+		EfSearch:       x.efSrch,
+		Version:        x.version,
+	}
+}

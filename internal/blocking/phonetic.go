@@ -1,0 +1,88 @@
+package blocking
+
+import "strings"
+
+// soundexCode maps a lower-case ASCII letter to its Soundex digit class,
+// 0 for vowels and the separators (a e i o u y), -1 for h and w (which
+// are transparent: they do not break a run of equal codes).
+func soundexCode(r byte) int8 {
+	switch r {
+	case 'b', 'f', 'p', 'v':
+		return '1'
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return '2'
+	case 'd', 't':
+		return '3'
+	case 'l':
+		return '4'
+	case 'm', 'n':
+		return '5'
+	case 'r':
+		return '6'
+	case 'h', 'w':
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Soundex returns the American Soundex code of one name token: the first
+// letter followed by up to three digits classifying the following
+// consonants, zero-padded ("robert" and "rupert" both code to "r163").
+// Adjacent letters with the same digit collapse to one; h and w do not
+// break such a run, vowels do. Non-letter characters are skipped; a token
+// with no ASCII letters codes to "". The input is expected normalized
+// (NormalizeKey); upper-case letters are folded anyway so the function is
+// safe on raw tokens.
+func Soundex(token string) string {
+	token = strings.ToLower(token)
+	var out [4]byte
+	n := 0
+	var last int8 = -2 // sentinel: nothing consumed yet
+	for i := 0; i < len(token) && n < len(out); i++ {
+		c := token[i]
+		if c < 'a' || c > 'z' {
+			continue
+		}
+		code := soundexCode(c)
+		if n == 0 {
+			out[0] = c
+			n = 1
+			last = code
+			continue
+		}
+		switch {
+		case code > 0:
+			if code != last {
+				out[n] = byte(code)
+				n++
+			}
+			last = code
+		case code == 0:
+			last = 0 // vowel: breaks the run
+		}
+		// code == -1 (h, w): transparent, last keeps its value.
+	}
+	if n == 0 {
+		return ""
+	}
+	for n < len(out) {
+		out[n] = '0'
+		n++
+	}
+	return string(out[:])
+}
+
+// SoundexKey codes every token of one blocking key and joins the results,
+// so "jon smith" and "john smyth" produce the same phonetic key. Tokens
+// without letters are dropped; a key with no codable token returns "".
+func SoundexKey(key string) string {
+	fields := strings.Fields(NormalizeKey(key))
+	codes := fields[:0]
+	for _, tok := range fields {
+		if c := Soundex(tok); c != "" {
+			codes = append(codes, c)
+		}
+	}
+	return strings.Join(codes, " ")
+}

@@ -1,0 +1,37 @@
+package eval
+
+// CandidateRecall measures how much of a reference blocking an
+// approximate blocking preserves: the fraction of co-blocked document
+// pairs of the reference partition that are also co-blocked in the
+// approximate one. It is the pair-level recall of the Block stage — the
+// single quantity the ANN candidate index trades for sublinear time —
+// and the number the recall sweep pins against the exact schemes.
+//
+// Both partitions are given as blocks of document indices; indices must
+// be unique within a partition. Documents missing from the approximate
+// partition count as singletons (their reference pairs are lost).
+// A reference with no co-blocked pairs has nothing to lose: recall 1.
+func CandidateRecall(reference, approx [][]int) float64 {
+	block := make(map[int]int)
+	for bi, members := range approx {
+		for _, doc := range members {
+			block[doc] = bi
+		}
+	}
+	pairs, kept := 0, 0
+	for _, members := range reference {
+		for i := 0; i < len(members); i++ {
+			bi, ok := block[members[i]]
+			for j := i + 1; j < len(members); j++ {
+				pairs++
+				if bj, okj := block[members[j]]; ok && okj && bi == bj {
+					kept++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		return 1
+	}
+	return float64(kept) / float64(pairs)
+}

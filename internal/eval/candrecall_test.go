@@ -1,0 +1,26 @@
+package eval
+
+import "testing"
+
+func TestCandidateRecall(t *testing.T) {
+	ref := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	cases := []struct {
+		name   string
+		approx [][]int
+		want   float64
+	}{
+		{"identical", [][]int{{0, 1, 2}, {3, 4}, {5}}, 1},
+		{"coarser", [][]int{{0, 1, 2, 3, 4, 5}}, 1},
+		{"one block split", [][]int{{0, 1}, {2}, {3, 4}, {5}}, 0.5},
+		{"all singletons", [][]int{{0}, {1}, {2}, {3}, {4}, {5}}, 0},
+		{"docs missing", [][]int{{0, 1, 2}}, 0.75},
+	}
+	for _, c := range cases {
+		if got := CandidateRecall(ref, c.approx); got != c.want {
+			t.Errorf("%s: recall %g, want %g", c.name, got, c.want)
+		}
+	}
+	if got := CandidateRecall([][]int{{0}, {1}}, nil); got != 1 {
+		t.Errorf("pairless reference: recall %g, want 1", got)
+	}
+}

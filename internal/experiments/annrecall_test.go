@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestANNRecallSweep(t *testing.T) {
+	rep, err := ANNRecallSweep(context.Background(), QuickConfig(), []int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Docs == 0 || rep.ExactBlocks < 2 {
+		t.Fatalf("degenerate baseline: %+v", rep)
+	}
+	if rep.ExactFp <= 0.5 {
+		t.Errorf("exact canopy end-to-end Fp = %v, expected a working resolution", rep.ExactFp)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		// The recall floor the bench gate enforces; the sweep must clear
+		// it at every beam width it reports.
+		if p.Recall < 0.95 {
+			t.Errorf("ef=%d: candidate recall %v below the 0.95 floor", p.EfSearch, p.Recall)
+		}
+		if p.Blocks < 1 || p.Blocks > rep.ExactBlocks {
+			t.Errorf("ef=%d: %d ANN blocks vs %d exact — components can only merge canopies, not split them",
+				p.EfSearch, p.Blocks, rep.ExactBlocks)
+		}
+		if p.Fp <= 0.5 {
+			t.Errorf("ef=%d: end-to-end Fp = %v, expected a working resolution", p.EfSearch, p.Fp)
+		}
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "exact") || !strings.Contains(out, "ef=16") {
+		t.Errorf("render output %q", out)
+	}
+}

@@ -1,0 +1,174 @@
+package persist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/ann"
+	"repro/internal/faultfs"
+)
+
+// annFileMagic heads every persisted ANN index file; the digit is the
+// envelope format version. The envelope records which blocking
+// configuration the index belongs to; the ann codec inside carries its
+// own format version and checksum.
+const annFileMagic = "ERANF001"
+
+// defaultMaxANNFiles caps how many ANN blocking configurations keep a
+// persisted graph. ANN indexes are keyed by (scheme, key function, graph
+// knobs) — as few knobs as the sharded indexes — so the same small cap
+// suffices.
+const defaultMaxANNFiles = 16
+
+// ANNDir stores one encoded ann.CandidateIndex per ANN blocking
+// configuration in the same DIR/indexes directory as the sharded key
+// indexes, each in its own .ann file named by a hash of the
+// configuration key. Saves are atomic (temp file + rename), the key is
+// verified on load, and damage surfaces as the codec's typed errors —
+// the damaged file is quarantined (renamed *.corrupt) and the caller
+// rebuilds from the corpus, losing only the restart head-start, never
+// correctness.
+type ANNDir struct {
+	dir  string
+	fsys faultfs.FS
+	logf func(format string, args ...any)
+	// MaxFiles bounds the number of .ann files kept; values < 1 select
+	// defaultMaxANNFiles.
+	MaxFiles int
+	// quarantined counts the damaged files LoadANNIndex renamed aside.
+	quarantined atomic.Int64
+}
+
+// NewANNDir returns an ANN index directory rooted at dir, creating it if
+// needed and sweeping temp files orphaned by a crash mid-save.
+func NewANNDir(dir string) (*ANNDir, error) {
+	return newANNDir(dir, Options{}.withDefaults())
+}
+
+func newANNDir(dir string, opts Options) (*ANNDir, error) {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating %s: %w", dir, err)
+	}
+	sweepOrphans(opts.FS, dir, ".ann-*")
+	return &ANNDir{dir: dir, fsys: opts.FS, logf: opts.Log}, nil
+}
+
+// path names the ANN index file of one configuration key.
+func (d *ANNDir) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:12])+".ann")
+}
+
+// Quarantined reports how many damaged ANN index files this directory
+// has renamed aside since it was opened.
+func (d *ANNDir) Quarantined() int64 { return d.quarantined.Load() }
+
+// SaveANNIndex atomically writes the index for one configuration key and
+// returns the index version the file reflects, so the caller can skip
+// future saves while the index is unchanged.
+func (d *ANNDir) SaveANNIndex(key string, idx *ann.CandidateIndex) (uint64, error) {
+	if len(key) > maxSnapshotKeyBytes {
+		return 0, fmt.Errorf("persist: ann index key is %d bytes, cap is %d", len(key), maxSnapshotKeyBytes)
+	}
+	tmp, err := d.fsys.CreateTemp(d.dir, ".ann-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("persist: creating ann index temp file: %w", err)
+	}
+	defer d.fsys.Remove(tmp.Name()) // no-op after a successful rename
+
+	var envelope bytes.Buffer
+	envelope.WriteString(annFileMagic)
+	var klen [4]byte
+	binary.LittleEndian.PutUint32(klen[:], uint32(len(key)))
+	envelope.Write(klen[:])
+	envelope.WriteString(key)
+	if _, err := tmp.Write(envelope.Bytes()); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("persist: writing ann index envelope: %w", err)
+	}
+	version, err := idx.EncodeTo(tmp)
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("persist: syncing ann index: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("persist: closing ann index temp file: %w", err)
+	}
+	if err := d.fsys.Rename(tmp.Name(), d.path(key)); err != nil {
+		return 0, fmt.Errorf("persist: publishing ann index: %w", err)
+	}
+	if err := d.fsys.SyncDir(d.dir); err != nil {
+		return 0, fmt.Errorf("persist: syncing directory %s: %w", d.dir, err)
+	}
+	d.prune()
+	return version, nil
+}
+
+// prune removes the oldest ANN index files beyond the cap, best effort.
+func (d *ANNDir) prune() {
+	limit := d.MaxFiles
+	if limit < 1 {
+		limit = defaultMaxANNFiles
+	}
+	pruneOldest(d.fsys, filepath.Join(d.dir, "*.ann"), limit)
+}
+
+// LoadANNIndex reads the index saved for key and rebuilds it under cfg,
+// which must describe the same ANN blocking configuration (the key is
+// the caller's encoding of it). A missing file returns (nil, nil): no
+// index is not an error. A present-but-damaged file is quarantined
+// (renamed *.corrupt) and returns the codec's typed error —
+// ann.ErrCodecVersion for version skew, ann.ErrCodecCorrupt for damage —
+// so the caller rebuilds either way, knowing the next save starts clean.
+func (d *ANNDir) LoadANNIndex(key string, cfg ann.Config) (*ann.CandidateIndex, error) {
+	path := d.path(key)
+	f, err := d.fsys.OpenFile(path, os.O_RDONLY, 0)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening ann index: %w", err)
+	}
+	defer f.Close()
+
+	damaged := func(err error) error {
+		quarantine(&d.quarantined, d.fsys, d.logf, path, err)
+		return err
+	}
+	header := make([]byte, len(annFileMagic)+4)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, damaged(fmt.Errorf("persist: ann index %s: truncated envelope: %w", path, err))
+	}
+	if string(header[:len(annFileMagic)]) != annFileMagic {
+		return nil, damaged(fmt.Errorf("persist: ann index %s: bad magic %q (foreign file or unsupported envelope version)",
+			path, header[:len(annFileMagic)]))
+	}
+	klen := binary.LittleEndian.Uint32(header[len(annFileMagic):])
+	if klen > maxSnapshotKeyBytes {
+		return nil, damaged(fmt.Errorf("persist: ann index %s: key length %d is corrupt", path, klen))
+	}
+	gotKey := make([]byte, klen)
+	if _, err := io.ReadFull(f, gotKey); err != nil {
+		return nil, damaged(fmt.Errorf("persist: ann index %s: truncated key: %w", path, err))
+	}
+	if string(gotKey) != key {
+		return nil, damaged(fmt.Errorf("persist: ann index %s was saved for configuration %q, not %q",
+			path, gotKey, key))
+	}
+	idx, err := ann.Decode(f, cfg)
+	if err != nil {
+		return nil, damaged(fmt.Errorf("persist: ann index %s: %w", path, err))
+	}
+	return idx, nil
+}

@@ -96,6 +96,10 @@ type Data struct {
 	// restarted server reloads its blocking indexes instead of re-keying
 	// and re-blocking the corpus.
 	Indexes *IndexDir
+	// ANN is the per-configuration approximate candidate index directory
+	// (same DIR/indexes tree, .ann files): a restarted server reloads its
+	// proximity graphs instead of re-inserting the corpus.
+	ANN *ANNDir
 	// Serving is the per-resolution-configuration serving-index directory:
 	// a restarted server answers cluster lookups from the last committed
 	// resolution with zero recompute.
@@ -150,13 +154,19 @@ func OpenWithOptions(dir string, opts Options) (*Data, error) {
 		lock.Close()
 		return nil, err
 	}
+	annDir, err := newANNDir(idxDir, opts)
+	if err != nil {
+		st.Close()
+		lock.Close()
+		return nil, err
+	}
 	srv, err := newServingDir(srvDir, opts)
 	if err != nil {
 		st.Close()
 		lock.Close()
 		return nil, err
 	}
-	return &Data{Store: st, Snapshots: snaps, Indexes: indexes, Serving: srv, lock: lock}, nil
+	return &Data{Store: st, Snapshots: snaps, Indexes: indexes, ANN: annDir, Serving: srv, lock: lock}, nil
 }
 
 // lockDir takes a non-blocking exclusive flock on DIR/lock. The lock file

@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/ann"
+	"repro/internal/blockindex"
+	"repro/internal/blocking"
+	"repro/internal/corpus"
+)
+
+// ANNOptions carries the graph knobs of the approximate candidate index;
+// zero values select the ann package defaults.
+type ANNOptions struct {
+	// M is the per-node degree bound of the proximity graph.
+	M int
+	// EfConstruction sizes the link-selection beam at insertion time.
+	EfConstruction int
+	// EfSearch sizes the neighbor query candidate edges come from; the
+	// recall knob.
+	EfSearch int
+}
+
+// ANNBlocker is the Block stage over the incremental approximate-
+// nearest-neighbor index: each new document is inserted into the
+// proximity graph once and linked to candidates by a near-logarithmic
+// neighbor query, replacing the O(N²) per-run pass the global schemes
+// (canopy, sorted neighborhood) otherwise need. It fills the same
+// FingerprintBlocker contract as IndexBlocker, so RunIncremental and the
+// service treat the two identically.
+//
+// Like IndexBlocker, an ANNBlocker is bound to one append-only corpus:
+// every call must present a superset of the previous call's collections,
+// or the index reports ann.ErrOutOfSync. It is safe for concurrent use;
+// calls serialize on the index.
+type ANNBlocker struct {
+	idx *ann.CandidateIndex
+}
+
+// NewANNBlocker builds an ANNBlocker for an approximable global scheme.
+// A nil keys selects the collection-name KeyFunc; zero knobs select the
+// ann defaults.
+func NewANNBlocker(scheme blocking.ApproxScheme, keys KeyFunc, opts ANNOptions) (*ANNBlocker, error) {
+	idx, err := ann.New(ann.Config{
+		Scheme:         scheme,
+		Keys:           ann.KeyFunc(keys),
+		M:              opts.M,
+		EfConstruction: opts.EfConstruction,
+		EfSearch:       opts.EfSearch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ANNBlocker{idx: idx}, nil
+}
+
+// NewANNBlockerWith wraps an existing candidate index — typically one
+// decoded from its persisted form, so a restarted process resumes with
+// the corpus already inserted into the graph.
+func NewANNBlockerWith(idx *ann.CandidateIndex) *ANNBlocker {
+	return &ANNBlocker{idx: idx}
+}
+
+// Index exposes the underlying index for persistence and stats.
+func (ab *ANNBlocker) Index() *ann.CandidateIndex { return ab.idx }
+
+// Warm inserts any documents of cols the index has not seen, without
+// assembling blocks — same contract as IndexBlocker.Warm: a snapshot the
+// index has already been advanced past is a no-op, not an error.
+func (ab *ANNBlocker) Warm(cols []*corpus.Collection) (ann.UpdateStats, error) {
+	stats, err := ab.idx.Update(cols)
+	if errors.Is(err, ann.ErrOutOfSync) {
+		return ann.UpdateStats{}, nil
+	}
+	return stats, err
+}
+
+// Block implements Blocker.
+func (ab *ANNBlocker) Block(ctx context.Context, cols []*corpus.Collection) ([]*corpus.Collection, error) {
+	out, err := ab.BlockFingerprints(ctx, cols)
+	return out.Blocks, err
+}
+
+// BlockMembership implements MembershipBlocker.
+func (ab *ANNBlocker) BlockMembership(ctx context.Context, cols []*corpus.Collection) ([]*corpus.Collection, [][]DocRef, error) {
+	out, err := ab.BlockFingerprints(ctx, cols)
+	return out.Blocks, out.Members, err
+}
+
+// BlockFingerprints implements FingerprintBlocker: insert the delta into
+// the graph, pull every component's cached membership and fingerprint,
+// and assemble the block collections in parallel.
+func (ab *ANNBlocker) BlockFingerprints(ctx context.Context, cols []*corpus.Collection) (IndexedBlocks, error) {
+	if err := ctx.Err(); err != nil {
+		return IndexedBlocks{}, err
+	}
+	// One atomic index operation, for the same reason as IndexBlocker: a
+	// shared index advanced by a concurrent user must not hand back refs
+	// pointing beyond the caller's snapshot.
+	stats, members, fps, err := ab.idx.UpdateMembership(cols)
+	var blockingStats BlockingStats
+	switch {
+	case errors.Is(err, ann.ErrOutOfSync):
+		members, fps, err = ab.idx.MembershipOf(cols)
+		if err != nil {
+			return IndexedBlocks{}, err
+		}
+		blockingStats = BlockingStats{Indexer: "ann", Fallback: true}
+	case err != nil:
+		return IndexedBlocks{}, err
+	default:
+		blockingStats = BlockingStats{
+			Indexer:     "ann",
+			IndexedDocs: stats.IndexedDocs,
+			DeltaDocs:   stats.DeltaDocs,
+			DirtyBlocks: stats.DirtyBlocks,
+			AnnM:        stats.M,
+			AnnEf:       stats.EfSearch,
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return IndexedBlocks{}, err
+	}
+
+	blocks := make([]*corpus.Collection, len(members))
+	blockindex.Parallel(ab.idx.Workers(), len(members), func(i int) {
+		blocks[i] = assembleRefs(cols, members[i])
+	})
+
+	return IndexedBlocks{
+		Blocks:       blocks,
+		Members:      members,
+		Fingerprints: fps,
+		Stats:        blockingStats,
+	}, nil
+}
+
+// BlockingModes are the accepted blocking-mode spellings, in display
+// order for CLI/API usage messages.
+var BlockingModes = []string{"exact", "ann"}
+
+// NewModeBlocker picks a Blocker for a scheme under an explicit blocking
+// mode. Mode "" or "exact" is today's behavior — NewBlocker's dispatch,
+// bit-identical results. Mode "ann" serves a global scheme from the
+// incremental approximate candidate index; it requires a scheme with an
+// approximation policy (canopy, sorted neighborhood) and rejects
+// anything else, because the key-based schemes already have an exact
+// O(delta) index and approximating them would only lose recall.
+func NewModeBlocker(mode string, scheme blocking.Scheme, keys KeyFunc, shards int, opts ANNOptions) (Blocker, error) {
+	switch mode {
+	case "", "exact":
+		return NewBlocker(scheme, keys, shards)
+	case "ann":
+		approx, ok := scheme.(blocking.ApproxScheme)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: blocking mode %q needs a global scheme with an approximation policy (canopy, sortedneighborhood), not %T", mode, scheme)
+		}
+		return NewANNBlocker(approx, keys, opts)
+	default:
+		return nil, fmt.Errorf("pipeline: unknown blocking mode %q (valid: exact, ann)", mode)
+	}
+}

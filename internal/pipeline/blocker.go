@@ -81,14 +81,38 @@ func URLHostKey(col *corpus.Collection, doc corpus.Document) []string {
 	return []string{col.Name}
 }
 
+// PhoneticKey keys a document by the Soundex codes of its extracted
+// person-name mentions: the NamesKey names, each token folded to its
+// phonetic class, so spelling variants that sound alike ("smith" and
+// "smyth", "jon" and "john") land on one key without any pairwise
+// comparison. A document whose names code to nothing (no letters) keeps
+// its collection name so it still blocks with its retrieval siblings.
+func PhoneticKey(col *corpus.Collection, doc corpus.Document) []string {
+	var keys []string
+	seen := make(map[string]bool)
+	for _, k := range NamesKey(col, doc) {
+		code := blocking.SoundexKey(k)
+		if code == "" || seen[code] {
+			continue
+		}
+		seen[code] = true
+		keys = append(keys, code)
+	}
+	if len(keys) == 0 {
+		keys = append(keys, col.Name)
+	}
+	return keys
+}
+
 // KeyNames are the accepted ParseKeys spellings, in display order for
 // CLI/API usage messages.
-var KeyNames = []string{"collection", "names", "urlhost"}
+var KeyNames = []string{"collection", "names", "urlhost", "phonetic"}
 
 // ParseKeys maps a CLI/API key-function name to its KeyFunc: "collection"
 // is the paper's retrieved-for-one-name scheme, "names" keys documents by
 // their extracted person-name mentions (F3/F7), "urlhost" by the page
-// URL's host (F2).
+// URL's host (F2), "phonetic" by the Soundex codes of the extracted
+// names.
 func ParseKeys(name string) (KeyFunc, error) {
 	switch name {
 	case "", "collection":
@@ -97,6 +121,8 @@ func ParseKeys(name string) (KeyFunc, error) {
 		return NamesKey, nil
 	case "urlhost":
 		return URLHostKey, nil
+	case "phonetic":
+		return PhoneticKey, nil
 	default:
 		return nil, fmt.Errorf("pipeline: unknown key function %q (valid: %s)",
 			name, strings.Join(KeyNames, ", "))

@@ -13,7 +13,8 @@ import (
 // the work the sharded index reused.
 type BlockingStats struct {
 	// Indexer names the block stage implementation: "index" for the
-	// sharded incremental index, "scheme" for the per-run SchemeBlocker.
+	// sharded incremental index, "ann" for the approximate candidate
+	// index, "scheme" for the per-run SchemeBlocker.
 	Indexer string `json:"indexer"`
 	// Shards is the index's hash-partition count.
 	Shards int `json:"shards,omitempty"`
@@ -28,6 +29,10 @@ type BlockingStats struct {
 	DirtyBlocks int `json:"dirty_blocks"`
 	// Keys is the number of distinct index keys.
 	Keys int `json:"keys,omitempty"`
+	// AnnM and AnnEf echo the approximate index's graph knobs when the
+	// indexer is "ann".
+	AnnM  int `json:"ann_m,omitempty"`
+	AnnEf int `json:"ann_ef,omitempty"`
 	// Fallback marks a call the incremental state could not serve — a
 	// corpus older than what the index has already seen (two
 	// configurations sharing one index can observe the store in different

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/corpus"
+	"repro/internal/persist"
+)
+
+// TestANNModeIncrementalResolve pins the happy path of blocking_mode
+// "ann": the incremental endpoint serves canopy from the shared ANN
+// candidate index, reports indexer "ann" with the effective graph knobs,
+// pays only the ingest delta on repeat runs, and surfaces the graph in
+// the /v1/stats "ann" section.
+func TestANNModeIncrementalResolve(t *testing.T) {
+	ts := testServer(t, Config{})
+	ingestCollection(t, ts, testCollection(t, 30))
+
+	req := IncrementalResolveRequest{
+		resolveKnobs: resolveKnobs{Blocking: "canopy", BlockingMode: "ann"},
+	}
+	first := resolveOK(t, ts, req)
+	if first.Blocking.Indexer != "ann" {
+		t.Fatalf("indexer = %q, want \"ann\"", first.Blocking.Indexer)
+	}
+	if first.Blocking.IndexedDocs != 30 || first.Blocking.DeltaDocs != 30 {
+		t.Fatalf("first run indexed %d docs with delta %d, want 30/30",
+			first.Blocking.IndexedDocs, first.Blocking.DeltaDocs)
+	}
+	if first.Blocking.AnnM != ann.DefaultM || first.Blocking.AnnEf != ann.DefaultEfSearch {
+		t.Fatalf("ann knobs = M %d / ef %d, want the defaults %d / %d",
+			first.Blocking.AnnM, first.Blocking.AnnEf, ann.DefaultM, ann.DefaultEfSearch)
+	}
+
+	// Steady state: nothing ingested since, so the graph serves the whole
+	// blocking pass with zero insertions.
+	again := resolveOK(t, ts, req)
+	if again.Blocking.Indexer != "ann" || again.Blocking.DeltaDocs != 0 {
+		t.Fatalf("repeat run = %+v, want indexer \"ann\" with zero delta", again.Blocking)
+	}
+	if len(again.Blocks) != len(first.Blocks) {
+		t.Fatalf("repeat run found %d blocks, first found %d", len(again.Blocks), len(first.Blocks))
+	}
+
+	var stats StatsResponse
+	if code := getJSON(t, ts, "/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if len(stats.ANN.Indexes) != 1 {
+		t.Fatalf("stats lists %d ann indexes, want 1", len(stats.ANN.Indexes))
+	}
+	rep := stats.ANN.Indexes[0]
+	if rep.Key != "ann|canopy|collection|12|64" {
+		t.Errorf("ann index key = %q", rep.Key)
+	}
+	if rep.Docs != 30 || rep.Blocks < 1 || rep.M != ann.DefaultM {
+		t.Errorf("ann index stats = %+v", rep)
+	}
+}
+
+// TestANNModeValidation pins the 400 surface of the new knobs on both
+// resolve endpoints: unknown modes, non-approximable schemes, unusable
+// graph knobs, and ann knobs sent without ann mode are all rejected
+// before any shared index entry is created for them.
+func TestANNModeValidation(t *testing.T) {
+	ts := testServer(t, Config{})
+
+	cases := []struct {
+		name  string
+		knobs resolveKnobs
+	}{
+		{"unknown mode", resolveKnobs{BlockingMode: "fuzzy"}},
+		{"exact scheme not approximable", resolveKnobs{BlockingMode: "ann"}},
+		{"keyed scheme not approximable", resolveKnobs{BlockingMode: "ann", Blocking: "token"}},
+		{"degree one graph", resolveKnobs{BlockingMode: "ann", Blocking: "canopy", AnnM: 1}},
+		{"negative degree", resolveKnobs{BlockingMode: "ann", Blocking: "canopy", AnnM: -4}},
+		{"negative beam", resolveKnobs{BlockingMode: "ann", Blocking: "canopy", AnnEf: -1}},
+		{"ann knobs without ann mode", resolveKnobs{Blocking: "canopy", AnnEf: 32}},
+	}
+	for _, c := range cases {
+		// The incremental endpoint validates before touching the store, so
+		// an empty store still answers 400, not 409.
+		var errOut errorResponse
+		code := postJSON(t, ts, "/v1/resolve/incremental",
+			IncrementalResolveRequest{resolveKnobs: c.knobs}, &errOut)
+		if code != http.StatusBadRequest || errOut.Error == "" {
+			t.Errorf("%s: incremental = %d %q, want 400 with a message", c.name, code, errOut.Error)
+		}
+		// The one-shot endpoint shares the validation.
+		resp := postResolve(t, ts, ResolveRequest{
+			Collections:  []*corpus.Collection{testCollection(t, 4)},
+			resolveKnobs: c.knobs,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: one-shot = %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+
+	// A valid ann one-shot still resolves: fresh per-request graph.
+	resp := postResolve(t, ts, ResolveRequest{
+		Collections:  []*corpus.Collection{testCollection(t, 12)},
+		resolveKnobs: resolveKnobs{Blocking: "canopy", BlockingMode: "ann"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid ann one-shot = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestANNIndexRestartZeroReinsertion is the kill-9 test: the resolve
+// path persists the ANN graph before answering, so a server that dies
+// without Close still leaves a loadable index behind, and its successor
+// serves the same corpus with zero re-insertion (delta_docs 0, no
+// fallback).
+func TestANNIndexRestartZeroReinsertion(t *testing.T) {
+	tmp := t.TempDir()
+	annDir, err := persist.NewANNDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := testCollection(t, 40)
+	req := IncrementalResolveRequest{
+		resolveKnobs: resolveKnobs{Blocking: "canopy", BlockingMode: "ann"},
+	}
+
+	srv1 := New(Config{ANNIndexes: annDir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	defer ts1.Close()
+	ingestCollection(t, ts1, col)
+	first := resolveOK(t, ts1, req)
+	if first.Blocking.Indexer != "ann" || first.Blocking.IndexedDocs != 40 {
+		t.Fatalf("first run blocking = %+v", first.Blocking)
+	}
+	// The resolve already persisted the graph; srv1 is now abandoned
+	// without Close — the kill-9.
+	files, err := filepath.Glob(filepath.Join(tmp, "*.ann"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("persisted ann files after resolve: %v, %v (want exactly 1)", files, err)
+	}
+
+	srv2 := New(Config{ANNIndexes: annDir})
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv2.Close(ctx); err != nil {
+			t.Errorf("closing restarted server: %v", err)
+		}
+	})
+	ingestCollection(t, ts2, col) // the same corpus, replayed into a fresh store
+	second := resolveOK(t, ts2, req)
+	if second.Blocking.Indexer != "ann" || second.Blocking.Fallback {
+		t.Fatalf("restarted run blocking = %+v, want indexer \"ann\" without fallback", second.Blocking)
+	}
+	if second.Blocking.DeltaDocs != 0 {
+		t.Fatalf("restarted run re-inserted %d docs, want 0 (graph loaded from disk)", second.Blocking.DeltaDocs)
+	}
+	if second.Blocking.IndexedDocs != 40 {
+		t.Fatalf("restarted run serves %d indexed docs, want 40", second.Blocking.IndexedDocs)
+	}
+	if len(second.Blocks) != len(first.Blocks) {
+		t.Fatalf("restarted run found %d blocks, first found %d", len(second.Blocks), len(first.Blocks))
+	}
+}

@@ -175,7 +175,7 @@ func TestIndexSaveBackoff(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Materialize a real index entry through the public path.
-	_, entry, err := srv.blockerFor(resolveKnobs{})
+	_, entry, _, err := srv.blockerFor(resolveKnobs{})
 	if err != nil {
 		t.Fatal(err)
 	}

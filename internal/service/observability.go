@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/tracing"
@@ -49,6 +50,7 @@ func (s *Server) initObservability() {
 	c.readEntities = r.Counter("ersolve_reads_total", readsHelp, "endpoint", "entities")
 	c.readDocs = r.Counter("ersolve_reads_total", readsHelp, "endpoint", "docs")
 	c.readSearch = r.Counter("ersolve_reads_total", readsHelp, "endpoint", "search")
+	c.readLookup = r.Counter("ersolve_reads_total", readsHelp, "endpoint", "lookup")
 	const cacheHelp = "Read-path response cache lookups, by result."
 	c.cacheHits = r.Counter("ersolve_read_cache_total", cacheHelp, "result", "hit")
 	c.cacheMisses = r.Counter("ersolve_read_cache_total", cacheHelp, "result", "miss")
@@ -59,6 +61,8 @@ func (s *Server) initObservability() {
 	c.snapshotSaveFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "snapshot_save_failures")
 	c.indexLoadFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "index_load_failures")
 	c.indexSaveFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "index_save_failures")
+	c.annLoadFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "ann_load_failures")
+	c.annSaveFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "ann_save_failures")
 	c.servingLoadFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "serving_load_failures")
 	c.servingSaveFailures = r.Counter("ersolve_degraded_total", degradedHelp, "kind", "serving_save_failures")
 	// The backing stores count their own recoveries and quarantines; join
@@ -160,6 +164,32 @@ func (s *Server) initObservability() {
 		return out
 	})
 
+	// ersolve_ann_* describe every live ANN candidate index (the "ann"
+	// blocking mode): graph size, spanning-forest edges, and the component
+	// count the next resolve will assemble blocks from.
+	annSamples := func(value func(st ann.Stats) float64) func() []metrics.Sample {
+		return func() []metrics.Sample {
+			var out []metrics.Sample
+			for _, e := range s.annEntries() {
+				if ab := e.blocker.Load(); ab != nil {
+					out = append(out, metrics.Sample{
+						Labels: []string{"index", e.key},
+						Value:  value(ab.Index().Stats()),
+					})
+				}
+			}
+			return out
+		}
+	}
+	r.GaugeFunc("ersolve_ann_index_docs", "Documents inserted into each ANN candidate index.",
+		annSamples(func(st ann.Stats) float64 { return float64(st.Docs) }))
+	r.GaugeFunc("ersolve_ann_index_edges", "Component-merging candidate edges kept by each ANN index.",
+		annSamples(func(st ann.Stats) float64 { return float64(st.Edges) }))
+	r.GaugeFunc("ersolve_ann_index_blocks", "Candidate components (blocks) in each ANN index.",
+		annSamples(func(st ann.Stats) float64 { return float64(st.Blocks) }))
+	r.GaugeFunc("ersolve_ann_index_max_level", "Top populated graph layer of each ANN index.",
+		annSamples(func(st ann.Stats) float64 { return float64(st.MaxLevel) }))
+
 	r.Gauge("ersolve_uptime_seconds", "Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.started).Seconds() })
 	r.Gauge("ersolve_build_info", "Build information; the value is always 1.",
@@ -183,6 +213,7 @@ func (s *Server) storeDegradationSamples() []metrics.Sample {
 	}{
 		{"quarantined_snapshots", s.cfg.Snapshots},
 		{"quarantined_indexes", s.cfg.Indexes},
+		{"quarantined_ann", s.cfg.ANNIndexes},
 		{"quarantined_serving", s.cfg.Serving},
 	} {
 		if rep, ok := q.src.(quarantineReporter); ok {

@@ -266,6 +266,127 @@ func (s *Server) handleEntity(w http.ResponseWriter, r *http.Request) {
 		EntityResponse{Entity: c, Epoch: x.Epoch(), StoreVersion: x.StoreVersion()})
 }
 
+// maxLookupItems bounds how many entity IDs plus doc refs one batch
+// lookup request may carry: enough for a UI page of rows, small enough
+// that a single request cannot monopolize the read path or mint an
+// unbounded response-cache entry.
+const maxLookupItems = 256
+
+// LookupRequest is the POST /v1/entities/lookup body: entity IDs and/or
+// document refs ("collection:pos") to resolve in one serving-index pass.
+type LookupRequest struct {
+	IDs  []string `json:"ids,omitempty"`
+	Refs []string `json:"refs,omitempty"`
+}
+
+// LookupResult is one batch-lookup answer, echoing the ID or ref it
+// resolves; Entity is null when the serving index has no such entity —
+// per-item misses do not fail the batch.
+type LookupResult struct {
+	ID     string           `json:"id,omitempty"`
+	Ref    string           `json:"ref,omitempty"`
+	Entity *serving.Cluster `json:"entity"`
+}
+
+// LookupResponse is the POST /v1/entities/lookup reply: one result per
+// requested item, IDs first then refs, in request order.
+type LookupResponse struct {
+	Results []LookupResult `json:"results"`
+	// Found is how many results carry a non-null entity.
+	Found        int    `json:"found"`
+	Epoch        uint64 `json:"epoch"`
+	StoreVersion uint64 `json:"store_version"`
+}
+
+// handleEntityLookup answers POST /v1/entities/lookup: the batch form of
+// GET /v1/entities/{id} and GET /v1/docs/{ref}/entity — many lookups,
+// one serving-index pass, one cacheable response. Misses answer a null
+// entity in place rather than failing the batch, so a client rendering a
+// page of rows gets every resolvable row in one round trip.
+func (s *Server) handleEntityLookup(w http.ResponseWriter, r *http.Request) {
+	if !allowOnly(w, r, http.MethodPost) || !jsonBody(w, r) {
+		return
+	}
+	var req LookupRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	total := len(req.IDs) + len(req.Refs)
+	if total == 0 {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "lookup needs at least one entry in \"ids\" or \"refs\""})
+		return
+	}
+	if total > maxLookupItems {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("lookup carries %d items, cap is %d; split the request", total, maxLookupItems)})
+		return
+	}
+	type docRef struct {
+		collection string
+		pos        int
+	}
+	refs := make([]docRef, len(req.Refs))
+	for i, ref := range req.Refs {
+		cut := strings.LastIndexByte(ref, ':')
+		if cut < 0 {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("ref %q needs the form {collection}:{pos}", ref)})
+			return
+		}
+		pos, okPos := parseCanonicalPos(ref[cut+1:])
+		if !okPos {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("ref %q: position %q is not a canonical non-negative integer (digits only, no leading zeros)", ref, ref[cut+1:])})
+			return
+		}
+		refs[i] = docRef{collection: ref[:cut], pos: pos}
+	}
+	x, ok := s.hotIndex(w)
+	if !ok {
+		return
+	}
+	tr := s.traces.Start("read.lookup")
+	defer tr.End()
+	tr.SetAttr("items", strconv.Itoa(total))
+	s.counters.readLookup.Add(1)
+	start := time.Now()
+	resp := LookupResponse{
+		Results:      make([]LookupResult, 0, total),
+		Epoch:        x.Epoch(),
+		StoreVersion: x.StoreVersion(),
+	}
+	for _, id := range req.IDs {
+		c := x.Entity(id)
+		if c != nil {
+			resp.Found++
+		}
+		resp.Results = append(resp.Results, LookupResult{ID: id, Entity: c})
+	}
+	for i, ref := range refs {
+		c := x.DocEntity(ref.collection, ref.pos)
+		if c != nil {
+			resp.Found++
+		}
+		resp.Results = append(resp.Results, LookupResult{Ref: req.Refs[i], Entity: c})
+	}
+	d := time.Since(start)
+	s.latency.lookup.Observe(d)
+	tr.Span("lookup", start, d)
+	// The batch shares the read cache (and its epoch/ingest invalidation)
+	// with the single-item endpoints: a repeated page render is served
+	// from the rendered bytes. The key re-marshals the request so two
+	// distinct batches can never alias one entry (items may contain any
+	// separator a plain join would use).
+	keyBytes, err := json.Marshal(req)
+	if err != nil {
+		// Unreachable for decoded string slices; answer uncached.
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.serveCached(w, "lookup\x00"+string(keyBytes), x.Epoch(), http.StatusOK, resp)
+}
+
 // handleDocEntity answers GET /v1/docs/{ref}/entity where ref is
 // "collection:pos": the cluster containing that store document, or 404 —
 // including for documents ingested after the served resolution committed
@@ -444,6 +565,7 @@ type ReadStats struct {
 	Entities    int64 `json:"entities"`
 	Docs        int64 `json:"docs"`
 	Search      int64 `json:"search"`
+	Lookup      int64 `json:"lookup"`
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	CacheSize   int   `json:"cache_size"`
@@ -484,6 +606,7 @@ func (s *Server) readStats() ReadStats {
 		Entities:    s.counters.readEntities.Load(),
 		Docs:        s.counters.readDocs.Load(),
 		Search:      s.counters.readSearch.Load(),
+		Lookup:      s.counters.readLookup.Load(),
 		CacheHits:   s.counters.cacheHits.Load(),
 		CacheMisses: s.counters.cacheMisses.Load(),
 		CacheSize:   s.readCache.size(),

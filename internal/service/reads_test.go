@@ -470,3 +470,98 @@ func TestDocEntityRequiresCanonicalPosition(t *testing.T) {
 		t.Errorf("pos 0 lookup rejected")
 	}
 }
+
+// TestEntityLookupBatch pins POST /v1/entities/lookup: many IDs and doc
+// refs answered in one serving-index pass, per-item misses as null
+// entities, the shared read cache serving repeats, and the request
+// bounds (emptiness, item cap, ref syntax) as 400s.
+func TestEntityLookupBatch(t *testing.T) {
+	ts := testServer(t, Config{})
+	ingestCollection(t, ts, testCollection(t, 30))
+	resolveOK(t, ts, IncrementalResolveRequest{})
+
+	var byDoc EntityResponse
+	if code := getJSON(t, ts, "/v1/docs/rivera:0/entity", &byDoc); code != http.StatusOK {
+		t.Fatalf("seed lookup = %d", code)
+	}
+	id := byDoc.Entity.ID
+
+	req := LookupRequest{
+		IDs:  []string{id, "no-such-id"},
+		Refs: []string{"rivera:0", "rivera:9999"},
+	}
+	var out LookupResponse
+	if code := postJSON(t, ts, "/v1/entities/lookup", req, &out); code != http.StatusOK {
+		t.Fatalf("lookup = %d", code)
+	}
+	if len(out.Results) != 4 || out.Found != 2 {
+		t.Fatalf("lookup answered %d results with %d found, want 4/2", len(out.Results), out.Found)
+	}
+	if out.Results[0].ID != id || out.Results[0].Entity == nil || out.Results[0].Entity.ID != id {
+		t.Errorf("results[0] = %+v, want the seed entity by ID", out.Results[0])
+	}
+	if out.Results[1].ID != "no-such-id" || out.Results[1].Entity != nil {
+		t.Errorf("results[1] = %+v, want a null-entity miss", out.Results[1])
+	}
+	if out.Results[2].Ref != "rivera:0" || out.Results[2].Entity == nil || out.Results[2].Entity.ID != id {
+		t.Errorf("results[2] = %+v, want the same entity by ref", out.Results[2])
+	}
+	if out.Results[3].Ref != "rivera:9999" || out.Results[3].Entity != nil {
+		t.Errorf("results[3] = %+v, want a null-entity miss", out.Results[3])
+	}
+	if out.Epoch == 0 {
+		t.Errorf("lookup response carries no serving epoch")
+	}
+
+	// The batch shares the read cache: an identical repeat is a hit.
+	var before, after StatsResponse
+	getJSON(t, ts, "/v1/stats", &before)
+	var repeat LookupResponse
+	if code := postJSON(t, ts, "/v1/entities/lookup", req, &repeat); code != http.StatusOK {
+		t.Fatalf("repeat lookup = %d", code)
+	}
+	if repeat.Found != out.Found || len(repeat.Results) != len(out.Results) {
+		t.Fatalf("cached repeat diverges: %+v", repeat)
+	}
+	getJSON(t, ts, "/v1/stats", &after)
+	if after.Reads.Lookup != 2 {
+		t.Errorf("reads.lookup = %d, want 2", after.Reads.Lookup)
+	}
+	if after.Reads.CacheHits <= before.Reads.CacheHits {
+		t.Errorf("repeat batch missed the read cache (hits %d -> %d)",
+			before.Reads.CacheHits, after.Reads.CacheHits)
+	}
+
+	// Bounds and syntax.
+	var errOut errorResponse
+	if code := postJSON(t, ts, "/v1/entities/lookup", LookupRequest{}, &errOut); code != http.StatusBadRequest {
+		t.Errorf("empty lookup = %d, want 400", code)
+	}
+	over := LookupRequest{IDs: make([]string, maxLookupItems+1)}
+	for i := range over.IDs {
+		over.IDs[i] = "x"
+	}
+	if code := postJSON(t, ts, "/v1/entities/lookup", over, &errOut); code != http.StatusBadRequest {
+		t.Errorf("oversized lookup = %d, want 400", code)
+	}
+	for _, ref := range []string{"rivera", "rivera:+3", "rivera:03", "rivera:x"} {
+		if code := postJSON(t, ts, "/v1/entities/lookup", LookupRequest{Refs: []string{ref}}, &errOut); code != http.StatusBadRequest {
+			t.Errorf("ref %q = %d, want 400", ref, code)
+		}
+	}
+
+	// GET is not the batch verb.
+	if code := getJSON(t, ts, "/v1/entities/lookup", &errOut); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET lookup = %d, want 405", code)
+	}
+}
+
+// TestEntityLookupBeforeCommit pins the 409 contract: the batch endpoint
+// serves committed resolutions only, like its single-item siblings.
+func TestEntityLookupBeforeCommit(t *testing.T) {
+	ts := testServer(t, Config{})
+	var errOut errorResponse
+	if code := postJSON(t, ts, "/v1/entities/lookup", LookupRequest{IDs: []string{"x"}}, &errOut); code != http.StatusConflict {
+		t.Fatalf("lookup on empty server = %d, want 409", code)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/blockindex"
 	"repro/internal/blocking"
 	"repro/internal/core"
@@ -74,6 +75,16 @@ type Config struct {
 	// or mismatched saved index degrades to a rebuild from the store
 	// (results stay correct) and is reported through ErrorLog.
 	Indexes IndexStore
+	// ANNIndexes optionally persists each ANN blocking configuration's
+	// candidate index (internal/persist.ANNDir is the disk
+	// implementation, sharing DIR/indexes with the sharded key indexes).
+	// When set, the graph is saved after incremental runs that advanced
+	// it and reloaded on the configuration's first use after a restart,
+	// so a restarted server does not re-insert the corpus into the
+	// proximity graph. A damaged or knob-mismatched saved index degrades
+	// to a rebuild from the store (results stay correct) and is reported
+	// through ErrorLog.
+	ANNIndexes ANNStore
 	// Snapshots optionally persists each configuration's incremental
 	// snapshot (internal/persist.SnapshotDir is the disk implementation).
 	// When set, every successful incremental run saves its snapshot
@@ -127,6 +138,15 @@ type IndexStore interface {
 	SaveIndex(key string, idx *blockindex.Index) (uint64, error)
 }
 
+// ANNStore persists per-configuration ANN candidate indexes.
+// LoadANNIndex returns (nil, nil) when nothing is saved under the key;
+// SaveANNIndex returns the index version the stored form reflects, so
+// the service can skip saves while the graph is unchanged.
+type ANNStore interface {
+	LoadANNIndex(key string, cfg ann.Config) (*ann.CandidateIndex, error)
+	SaveANNIndex(key string, idx *ann.CandidateIndex) (uint64, error)
+}
+
 // Server resolves posted collections through the streaming pipeline.
 type Server struct {
 	cfg   Config
@@ -145,6 +165,13 @@ type Server struct {
 	// maintain one index. The index itself serializes access.
 	indexesMu sync.Mutex
 	indexes   map[string]*indexEntry
+
+	// annIndexes holds one ANN candidate index per ANN blocking
+	// configuration (scheme, key function, graph knobs) — shared by every
+	// resolution configuration that blocks the same way, exactly like the
+	// sharded indexes above. The index itself serializes access.
+	annMu      sync.Mutex
+	annIndexes map[string]*annEntry
 
 	// counters are the /v1/stats per-stage counters.
 	counters counters
@@ -190,8 +217,8 @@ type counters struct {
 	ingestBatches                           *metrics.Counter
 	// Read-path counters: per-endpoint request counts and response-cache
 	// traffic.
-	readEntities, readDocs, readSearch *metrics.Counter
-	cacheHits, cacheMisses             *metrics.Counter
+	readEntities, readDocs, readSearch, readLookup *metrics.Counter
+	cacheHits, cacheMisses                         *metrics.Counter
 	// Degradation counters: every event where the server kept serving by
 	// giving something up — a panicking handler answered 500, ingest was
 	// throttled, persisted state failed to load (rebuilt from the corpus)
@@ -200,6 +227,7 @@ type counters struct {
 	panics, ingestThrottled                    *metrics.Counter
 	snapshotLoadFailures, snapshotSaveFailures *metrics.Counter
 	indexLoadFailures, indexSaveFailures       *metrics.Counter
+	annLoadFailures, annSaveFailures           *metrics.Counter
 	servingLoadFailures, servingSaveFailures   *metrics.Counter
 }
 
@@ -218,6 +246,24 @@ type indexEntry struct {
 	// implement capped exponential backoff on failing saves, so a broken
 	// index store is retried occasionally instead of hammered by every
 	// warm round. All guarded by mu.
+	mu           sync.Mutex
+	savedVersion uint64
+	saveFailures int
+	nextSave     time.Time
+}
+
+// annEntry is one shared ANN candidate index plus its persistence
+// bookkeeping — the same shape as indexEntry, over the proximity graph
+// the "ann" blocking mode serves candidates from. Initialization runs
+// outside the registry lock for the same reason: decoding a persisted
+// graph re-links every node, and only the configuration that needs it
+// should wait.
+type annEntry struct {
+	key     string
+	init    sync.Once
+	blocker atomic.Pointer[pipeline.ANNBlocker]
+	// mu serializes saves; savedVersion/saveFailures/nextSave implement
+	// the same capped exponential backoff as indexEntry.
 	mu           sync.Mutex
 	savedVersion uint64
 	saveFailures int
@@ -278,13 +324,14 @@ func New(cfg Config) *Server {
 		cfg.ErrorLog = log.Printf
 	}
 	s := &Server{
-		cfg:     cfg,
-		store:   cfg.Store,
-		jobs:    store.NewQueue(cfg.QueueBuffer, cfg.JobHistory),
-		states:  make(map[string]*incrementalState),
-		indexes: make(map[string]*indexEntry),
-		warmCh:  make(chan struct{}, 1),
-		closeCh: make(chan struct{}),
+		cfg:        cfg,
+		store:      cfg.Store,
+		jobs:       store.NewQueue(cfg.QueueBuffer, cfg.JobHistory),
+		states:     make(map[string]*incrementalState),
+		indexes:    make(map[string]*indexEntry),
+		annIndexes: make(map[string]*annEntry),
+		warmCh:     make(chan struct{}, 1),
+		closeCh:    make(chan struct{}),
 	}
 	if s.store == nil {
 		s.store = store.NewMemStore()
@@ -372,6 +419,17 @@ func (s *Server) warmLoop() {
 				// tail.
 				s.persistIndexIfGrown(e)
 			}
+			for _, e := range s.annEntries() {
+				ab := e.blocker.Load()
+				if ab == nil {
+					continue // still initializing; its first resolve will index
+				}
+				if _, err := ab.Warm(cols); err != nil {
+					s.cfg.ErrorLog("service: warming ann index %q: %v", e.key, err)
+					continue
+				}
+				s.persistANNIndexIfGrown(e)
+			}
 		}
 	}
 }
@@ -394,12 +452,42 @@ func (s *Server) persistIndexIfGrown(e *indexEntry) {
 	}
 }
 
+// persistANNIndexIfGrown saves the entry's graph only once the unsaved
+// delta is large enough to amortize the whole-graph encode — the same
+// batching contract as persistIndexIfGrown.
+func (s *Server) persistANNIndexIfGrown(e *annEntry) {
+	if s.cfg.ANNIndexes == nil {
+		return
+	}
+	ab := e.blocker.Load()
+	if ab == nil {
+		return
+	}
+	e.mu.Lock()
+	grown := ab.Index().Version() >= e.savedVersion+warmSaveDeltaDocs
+	e.mu.Unlock()
+	if grown {
+		s.persistANNIndex(e, false)
+	}
+}
+
 // indexEntries snapshots the index registry under its lock.
 func (s *Server) indexEntries() []*indexEntry {
 	s.indexesMu.Lock()
 	defer s.indexesMu.Unlock()
 	entries := make([]*indexEntry, 0, len(s.indexes))
 	for _, e := range s.indexes {
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// annEntries snapshots the ANN index registry under its lock.
+func (s *Server) annEntries() []*annEntry {
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	entries := make([]*annEntry, 0, len(s.annIndexes))
+	for _, e := range s.annIndexes {
 		entries = append(entries, e)
 	}
 	return entries
@@ -420,6 +508,9 @@ func (s *Server) Close(ctx context.Context) error {
 	for _, e := range s.indexEntries() {
 		s.persistIndex(e, true)
 	}
+	for _, e := range s.annEntries() {
+		s.persistANNIndex(e, true)
+	}
 	return err
 }
 
@@ -430,6 +521,7 @@ func (s *Server) Close(ctx context.Context) error {
 //	GET  /v1/jobs/{id}            ingest job status and result
 //	POST /v1/resolve/incremental  resolve the store, reusing clean blocks
 //	GET  /v1/entities/{id}        cluster members by stable entity ID
+//	POST /v1/entities/lookup      batch entity/doc lookup, one index pass
 //	GET  /v1/docs/{ref}/entity    which cluster a store document is in
 //	GET  /v1/search?name=         name tokens → candidate clusters
 //	GET  /v1/stats                per-stage counters and index shapes
@@ -449,6 +541,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/collections", s.handleCollections)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/entities/", s.handleEntity)
+	mux.HandleFunc("/v1/entities/lookup", s.handleEntityLookup)
 	mux.HandleFunc("/v1/docs/", s.handleDocEntity)
 	mux.HandleFunc("/v1/search", s.handleSearch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
@@ -524,10 +617,25 @@ type resolveKnobs struct {
 	// Blocking re-partitions the documents: exact | token |
 	// sortedneighborhood | canopy (default exact, the paper's scheme).
 	Blocking string `json:"blocking,omitempty"`
-	// Keys derives each document's blocking keys: collection | names
-	// (default collection; names keys documents by their extracted
-	// person-name mentions, merging cross-collection spelling variants).
+	// Keys derives each document's blocking keys: collection | names |
+	// urlhost | phonetic (default collection; names keys documents by
+	// their extracted person-name mentions, merging cross-collection
+	// spelling variants; phonetic additionally soundex-encodes them so
+	// spelling variants share a key).
 	Keys string `json:"keys,omitempty"`
+	// BlockingMode selects the block-stage implementation: exact | ann
+	// (default exact, bit-identical to previous releases). Mode "ann"
+	// serves the global schemes (canopy, sortedneighborhood) from the
+	// incremental approximate-nearest-neighbor candidate index — O(delta)
+	// instead of O(corpus) per run, trading a bounded amount of candidate
+	// recall tuned by AnnEf.
+	BlockingMode string `json:"blocking_mode,omitempty"`
+	// AnnM is the ANN graph's per-node degree bound (default 12); only
+	// meaningful with BlockingMode "ann".
+	AnnM int `json:"ann_m,omitempty"`
+	// AnnEf is the ANN neighbor-query beam width — the recall knob
+	// (default 64); only meaningful with BlockingMode "ann".
+	AnnEf int `json:"ann_ef,omitempty"`
 	// TrainFraction is the labeled fraction (default 0.10).
 	TrainFraction float64 `json:"train_fraction,omitempty"`
 	// Regions is the accuracy-estimation region count (default 10).
@@ -864,7 +972,7 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 	// The block stage is shared per blocking configuration: key-based
 	// schemes resolve through the sharded incremental index bound to the
 	// server's store, so repeated resolves pay only for the ingest delta.
-	blocker, indexEntry, err := s.blockerFor(req.resolveKnobs)
+	blocker, indexEntry, annIndex, err := s.blockerFor(req.resolveKnobs)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -945,6 +1053,7 @@ func (s *Server) handleResolveIncremental(w http.ResponseWriter, r *http.Request
 	// saw the response can immediately GET the clusters it describes.
 	s.publishServing(state.key, cols, version, inc)
 	s.persistIndex(indexEntry, false)
+	s.persistANNIndex(annIndex, false)
 	tr.SetAttr("blocks", strconv.Itoa(inc.Stats.Blocks))
 	tr.SetAttr("reused", strconv.Itoa(inc.Stats.Reused))
 	s.counters.runs.Add(1)
@@ -1034,7 +1143,29 @@ func knobsKey(k resolveKnobs) string {
 	if k.Seed != nil {
 		seed = *k.Seed
 	}
-	return fmt.Sprintf("%s|%s|%s|%s|%g|%d|%d", strategy, clustering, scheme, keys, train, regions, seed)
+	base := fmt.Sprintf("%s|%s|%s|%s|%g|%d|%d", strategy, clustering, scheme, keys, train, regions, seed)
+	// The ann section joins the key ONLY in ann mode: exact-mode keys are
+	// byte-identical to previous releases, so existing persisted snapshots
+	// keep resolving under the same key after an upgrade.
+	if k.BlockingMode == "ann" {
+		m, ef := annKnobs(k)
+		base += fmt.Sprintf("|ann|%d|%d", m, ef)
+	}
+	return base
+}
+
+// annKnobs resolves the effective ANN graph knobs (defaults applied), so
+// `{"blocking_mode":"ann"}` and `{"blocking_mode":"ann","ann_m":12}` share
+// one state, one graph, and one persisted file.
+func annKnobs(k resolveKnobs) (m, ef int) {
+	m, ef = k.AnnM, k.AnnEf
+	if m == 0 {
+		m = ann.DefaultM
+	}
+	if ef == 0 {
+		ef = ann.DefaultEfSearch
+	}
+	return m, ef
 }
 
 // indexKey builds the blocking-configuration key one sharded index (and
@@ -1055,27 +1186,73 @@ func (s *Server) indexKey(schemeName, keysName string) string {
 	return fmt.Sprintf("%s|%s|%d", schemeName, keysName, shards)
 }
 
+// annIndexKey builds the ANN blocking-configuration key one candidate
+// index (and its persisted form) is filed under: only the knobs that
+// shape the graph — scheme, key function, degree bound, search beam — so
+// every resolution configuration blocking the same way shares one graph.
+func annIndexKey(schemeName, keysName string, k resolveKnobs) string {
+	if schemeName == "" {
+		schemeName = "exact"
+	}
+	if keysName == "" {
+		keysName = "collection"
+	}
+	m, ef := annKnobs(k)
+	return fmt.Sprintf("ann|%s|%s|%d|%d", schemeName, keysName, m, ef)
+}
+
+// validateBlockingMode rejects malformed blocking-mode knobs up front,
+// before any registry entry is created for them — a bad request must
+// never poison a shared index entry's one-shot initializer.
+func validateBlockingMode(k resolveKnobs) error {
+	switch k.BlockingMode {
+	case "", "exact":
+		if k.AnnM != 0 || k.AnnEf != 0 {
+			return fmt.Errorf("service: ann_m/ann_ef apply only when blocking_mode is \"ann\" (mode is %q)", k.BlockingMode)
+		}
+		return nil
+	case "ann":
+		if k.AnnM < 0 || k.AnnM == 1 {
+			return fmt.Errorf("service: ann_m %d is not a usable graph degree (0 selects the default %d; otherwise at least 2)", k.AnnM, ann.DefaultM)
+		}
+		if k.AnnEf < 0 {
+			return fmt.Errorf("service: ann_ef %d is negative (0 selects the default %d)", k.AnnEf, ann.DefaultEfSearch)
+		}
+		return nil
+	default:
+		return fmt.Errorf("service: unknown blocking_mode %q (valid: %s)", k.BlockingMode, strings.Join(pipeline.BlockingModes, ", "))
+	}
+}
+
 // blockerFor resolves the knobs' block stage. Key-based schemes get the
 // per-blocking-configuration shared index (created on first use, loaded
 // from the IndexStore if a restart left one behind); global schemes get a
-// stateless SchemeBlocker. The returned entry is nil for stateless
-// blockers.
-func (s *Server) blockerFor(k resolveKnobs) (pipeline.Blocker, *indexEntry, error) {
+// stateless SchemeBlocker in exact mode and the shared incremental ANN
+// candidate index in "ann" mode. At most one of the returned entries is
+// non-nil; both are nil for stateless blockers.
+func (s *Server) blockerFor(k resolveKnobs) (pipeline.Blocker, *indexEntry, *annEntry, error) {
+	if err := validateBlockingMode(k); err != nil {
+		return nil, nil, nil, err
+	}
 	schemeName := k.Blocking
 	if schemeName == "" {
 		schemeName = "exact"
 	}
 	scheme, err := blocking.ParseScheme(schemeName)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	keyFn, err := pipeline.ParseKeys(k.Keys)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	if k.BlockingMode == "ann" {
+		blocker, e, err := s.annBlockerFor(schemeName, scheme, keyFn, k)
+		return blocker, nil, e, err
 	}
 	keyed, ok := scheme.(blocking.KeyedScheme)
 	if !ok {
-		return pipeline.SchemeBlocker{Scheme: scheme, Keys: keyFn}, nil, nil
+		return pipeline.SchemeBlocker{Scheme: scheme, Keys: keyFn}, nil, nil, nil
 	}
 
 	key := s.indexKey(schemeName, k.Keys)
@@ -1120,9 +1297,98 @@ func (s *Server) blockerFor(k resolveKnobs) (pipeline.Blocker, *indexEntry, erro
 	})
 	ib := e.blocker.Load()
 	if ib == nil {
-		return nil, nil, fmt.Errorf("service: blocking index %q failed to initialize", key)
+		return nil, nil, nil, fmt.Errorf("service: blocking index %q failed to initialize", key)
 	}
-	return ib, e, nil
+	return ib, e, nil, nil
+}
+
+// annBlockerFor resolves the "ann" blocking mode: the per-configuration
+// shared ANN candidate index, created on first use and loaded from the
+// ANNStore if a restart left one behind — the graph half of blockerFor.
+func (s *Server) annBlockerFor(schemeName string, scheme blocking.Scheme, keyFn pipeline.KeyFunc, k resolveKnobs) (pipeline.Blocker, *annEntry, error) {
+	approx, ok := scheme.(blocking.ApproxScheme)
+	if !ok {
+		return nil, nil, fmt.Errorf("service: blocking_mode \"ann\" needs a global scheme with an approximation policy (canopy, sortedneighborhood), not %q — the key-based schemes already have an exact O(delta) index", schemeName)
+	}
+	m, ef := annKnobs(k)
+	key := annIndexKey(schemeName, k.Keys, k)
+	s.annMu.Lock()
+	e, found := s.annIndexes[key]
+	if !found {
+		e = &annEntry{key: key}
+		s.annIndexes[key] = e
+	}
+	s.annMu.Unlock()
+
+	// Initialize outside the registry lock, like the sharded indexes:
+	// decoding a persisted graph re-links every node, and only this
+	// blocking configuration should wait for it.
+	e.init.Do(func() {
+		if s.cfg.ANNIndexes != nil {
+			// First use of this ANN configuration since the server started:
+			// resume from the persisted graph if one survives. A missing
+			// file is normal; a damaged or knob-mismatched one degrades to a
+			// rebuild from the store and is logged, never trusted.
+			cfg := ann.Config{Scheme: approx, Keys: ann.KeyFunc(keyFn), M: m, EfSearch: ef}
+			idx, err := s.cfg.ANNIndexes.LoadANNIndex(key, cfg)
+			if err != nil {
+				s.counters.annLoadFailures.Add(1)
+				s.cfg.ErrorLog("service: loading ann index for %q: %v", key, err)
+			} else if idx != nil {
+				e.savedVersion = idx.Version()
+				e.blocker.Store(pipeline.NewANNBlockerWith(idx))
+				return
+			}
+		}
+		ab, err := pipeline.NewANNBlocker(approx, keyFn, pipeline.ANNOptions{M: m, EfSearch: ef})
+		if err != nil {
+			// Unreachable with validated knobs and a parsed scheme; surface
+			// it to the caller below rather than caching a half-made entry.
+			s.cfg.ErrorLog("service: building ann index for %q: %v", key, err)
+			return
+		}
+		e.blocker.Store(ab)
+	})
+	ab := e.blocker.Load()
+	if ab == nil {
+		return nil, nil, fmt.Errorf("service: ann index %q failed to initialize", key)
+	}
+	return ab, e, nil
+}
+
+// persistANNIndex saves the entry's graph if it advanced past the
+// persisted version — persistIndex's contract, applied to the ANN store.
+func (s *Server) persistANNIndex(e *annEntry, force bool) {
+	if e == nil || s.cfg.ANNIndexes == nil {
+		return
+	}
+	ab := e.blocker.Load()
+	if ab == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ab.Index().Version() == e.savedVersion {
+		return
+	}
+	if !force && e.saveFailures > 0 && time.Now().Before(e.nextSave) {
+		return
+	}
+	version, err := s.cfg.ANNIndexes.SaveANNIndex(e.key, ab.Index())
+	if err != nil {
+		s.counters.annSaveFailures.Add(1)
+		e.saveFailures++
+		delay := indexSaveBackoffBase << (e.saveFailures - 1)
+		if delay > indexSaveBackoffCap || delay <= 0 {
+			delay = indexSaveBackoffCap
+		}
+		e.nextSave = time.Now().Add(delay)
+		s.cfg.ErrorLog("service: saving ann index for %q (failure %d, next retry in %v): %v",
+			e.key, e.saveFailures, delay, err)
+		return
+	}
+	e.saveFailures = 0
+	e.savedVersion = version
 }
 
 // persistIndex saves the entry's index if it advanced past the persisted
@@ -1226,6 +1492,9 @@ type StatsResponse struct {
 	// Blocking aggregates block-stage reuse and lists every live sharded
 	// index with its shard balance.
 	Blocking BlockingStatsReport `json:"blocking"`
+	// ANN lists every live approximate-nearest-neighbor candidate index
+	// (the "ann" blocking mode) with its graph shape.
+	ANN ANNStatsReport `json:"ann"`
 	// Serving describes the hot read-path index: which committed
 	// resolution reads are served from, and how stale it is relative to
 	// the live store.
@@ -1265,6 +1534,13 @@ type DegradedStats struct {
 	SnapshotSaveFailures int64 `json:"snapshot_save_failures"`
 	IndexLoadFailures    int64 `json:"index_load_failures"`
 	IndexSaveFailures    int64 `json:"index_save_failures"`
+	// QuarantinedANN counts damaged persisted ANN graphs renamed aside;
+	// ANNLoadFailures/ANNSaveFailures degrade only the restart
+	// head-start of the "ann" blocking mode — the graph rebuilds from
+	// the corpus.
+	QuarantinedANN  int64 `json:"quarantined_ann"`
+	ANNLoadFailures int64 `json:"ann_load_failures"`
+	ANNSaveFailures int64 `json:"ann_save_failures"`
 	// QuarantinedServing counts damaged persisted serving indexes renamed
 	// aside; ServingLoadFailures/ServingSaveFailures degrade only the
 	// restart head-start of the read path.
@@ -1294,6 +1570,8 @@ func (s *Server) degradedStats() DegradedStats {
 		SnapshotSaveFailures: s.counters.snapshotSaveFailures.Load(),
 		IndexLoadFailures:    s.counters.indexLoadFailures.Load(),
 		IndexSaveFailures:    s.counters.indexSaveFailures.Load(),
+		ANNLoadFailures:      s.counters.annLoadFailures.Load(),
+		ANNSaveFailures:      s.counters.annSaveFailures.Load(),
 		ServingLoadFailures:  s.counters.servingLoadFailures.Load(),
 		ServingSaveFailures:  s.counters.servingSaveFailures.Load(),
 		Panics:               s.counters.panics.Load(),
@@ -1307,6 +1585,9 @@ func (s *Server) degradedStats() DegradedStats {
 	}
 	if r, ok := s.cfg.Indexes.(quarantineReporter); ok {
 		d.QuarantinedIndexes = r.Quarantined()
+	}
+	if r, ok := s.cfg.ANNIndexes.(quarantineReporter); ok {
+		d.QuarantinedANN = r.Quarantined()
 	}
 	if r, ok := s.cfg.Serving.(quarantineReporter); ok {
 		d.QuarantinedServing = r.Quarantined()
@@ -1356,6 +1637,18 @@ type IndexReport struct {
 	blockindex.Stats
 }
 
+// ANNStatsReport lists every live ANN candidate index.
+type ANNStatsReport struct {
+	Indexes []ANNIndexReport `json:"indexes"`
+}
+
+// ANNIndexReport is one live ANN candidate index: its blocking-
+// configuration key and the graph's shape.
+type ANNIndexReport struct {
+	Key string `json:"key"`
+	ann.Stats
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !allowOnly(w, r, http.MethodGet) {
 		return
@@ -1372,6 +1665,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Key < reports[j].Key })
+	annEntriesNow := s.annEntries()
+	annReports := make([]ANNIndexReport, 0, len(annEntriesNow))
+	for _, e := range annEntriesNow {
+		if ab := e.blocker.Load(); ab != nil {
+			annReports = append(annReports, ANNIndexReport{Key: e.key, Stats: ab.Index().Stats()})
+		}
+	}
+	sort.Slice(annReports, func(i, j int) bool { return annReports[i].Key < annReports[j].Key })
 	s.statesMu.Lock()
 	states := len(s.states)
 	s.statesMu.Unlock()
@@ -1393,6 +1694,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DirtyBlocks: s.counters.dirtyBlocks.Load(),
 			Indexes:     reports,
 		},
+		ANN:            ANNStatsReport{Indexes: annReports},
 		Serving:        s.servingReport(storeStats.Version),
 		Reads:          s.readStats(),
 		Latency:        s.latencyReport(),
@@ -1452,7 +1754,10 @@ func buildPipeline(req resolveKnobs, blocker pipeline.Blocker,
 		cfg.Strategy = strat
 	}
 	cfg.Blocker = blocker
-	if cfg.Blocker == nil && (req.Blocking != "" || req.Keys != "") {
+	if cfg.Blocker == nil && (req.Blocking != "" || req.Keys != "" || req.BlockingMode != "") {
+		if err := validateBlockingMode(req); err != nil {
+			return nil, false, err
+		}
 		var scheme blocking.Scheme = blocking.ExactKey{}
 		if req.Blocking != "" {
 			var err error
@@ -1465,7 +1770,24 @@ func buildPipeline(req resolveKnobs, blocker pipeline.Blocker,
 		if err != nil {
 			return nil, false, err
 		}
-		cfg.Blocker = pipeline.SchemeBlocker{Scheme: scheme, Keys: keyFn}
+		if req.BlockingMode == "ann" {
+			// A fresh per-request graph: one-shot bodies are arbitrary
+			// posted corpora and must never feed a store-bound index. Exact
+			// mode keeps the stateless SchemeBlocker below, bit-identical
+			// to previous releases.
+			approx, ok := scheme.(blocking.ApproxScheme)
+			if !ok {
+				return nil, false, fmt.Errorf("service: blocking_mode \"ann\" needs a global scheme with an approximation policy (canopy, sortedneighborhood), not %q", req.Blocking)
+			}
+			m, ef := annKnobs(req)
+			ab, err := pipeline.NewANNBlocker(approx, keyFn, pipeline.ANNOptions{M: m, EfSearch: ef})
+			if err != nil {
+				return nil, false, err
+			}
+			cfg.Blocker = ab
+		} else {
+			cfg.Blocker = pipeline.SchemeBlocker{Scheme: scheme, Keys: keyFn}
+		}
 	}
 
 	score := req.Score == nil || *req.Score

@@ -1,6 +1,7 @@
 package textsim
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -92,6 +93,33 @@ func (v SparseVector) Pack(vocab *Vocab) *PackedVector {
 	sort.Sort(byID{p})
 	p.norm = math.Sqrt(p.sumSq)
 	return p
+}
+
+// PackedFromParts assembles a PackedVector from already-interned term IDs
+// (ascending, deduplicated) and parallel weights, recomputing the
+// pack-time statistics — the decoder-side counterpart of Pack for
+// persisted indexes that store vectors in wire form. Inputs that are not
+// a valid packed support (length mismatch, unsorted or duplicate IDs,
+// negative IDs) are rejected rather than repaired: the caller is decoding
+// untrusted bytes and must treat them as corruption.
+func PackedFromParts(ids []int32, weights []float64) (*PackedVector, error) {
+	if len(ids) != len(weights) {
+		return nil, fmt.Errorf("textsim: packed vector has %d ids but %d weights", len(ids), len(weights))
+	}
+	p := &PackedVector{IDs: ids, Weights: weights}
+	for i, id := range ids {
+		if id < 0 {
+			return nil, fmt.Errorf("textsim: packed vector id %d is negative", id)
+		}
+		if i > 0 && id <= ids[i-1] {
+			return nil, fmt.Errorf("textsim: packed vector ids not strictly ascending at %d (%d after %d)", i, id, ids[i-1])
+		}
+		w := weights[i]
+		p.sum += w
+		p.sumSq += w * w
+	}
+	p.norm = math.Sqrt(p.sumSq)
+	return p, nil
 }
 
 // byID sorts a PackedVector's parallel slices by term ID.

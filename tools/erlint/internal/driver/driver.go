@@ -58,7 +58,13 @@ func AnalyzeFiles(fset *token.FileSet, files []*ast.File, run func(*analysis.Ana
 		file string
 		line int
 	}
-	ignores := make(map[ignoreKey]bool)
+	// ignoreRec tracks one well-formed directive: where it sits (for the
+	// unused-ignore report) and whether any diagnostic consumed it.
+	type ignoreRec struct {
+		pos  token.Pos
+		used bool
+	}
+	ignores := make(map[ignoreKey]*ignoreRec)
 	var findings []Finding
 	for _, f := range files {
 		name := fset.File(f.Pos()).Name()
@@ -71,21 +77,43 @@ func AnalyzeFiles(fset *token.FileSet, files []*ast.File, run func(*analysis.Ana
 				})
 				continue
 			}
-			ignores[ignoreKey{name, ig.Line}] = true
+			ignores[ignoreKey{name, ig.Line}] = &ignoreRec{pos: ig.Pos}
 		}
 	}
+	failed := false
 	for _, a := range analyzers {
 		err := run(a, func(d analysis.Diagnostic) {
 			pos := fset.Position(d.Pos)
-			if ignores[ignoreKey{pos.Filename, pos.Line}] {
+			if rec := ignores[ignoreKey{pos.Filename, pos.Line}]; rec != nil {
+				rec.used = true
 				return
 			}
 			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 		})
 		if err != nil {
+			failed = true
 			findings = append(findings, Finding{
 				Analyzer: a.Name,
 				Message:  fmt.Sprintf("analyzer failed: %v", err),
+			})
+		}
+	}
+	// A directive no diagnostic consumed suppresses nothing: the code it
+	// excused was fixed (or the ignore sits on the wrong line), and a stale
+	// ignore would silently swallow the next real finding there. Reported
+	// after the analyzer loop, directly into findings, so an ignore can
+	// never suppress its own staleness report. When an analyzer failed its
+	// diagnostics are incomplete, and "unused" cannot be distinguished from
+	// "never checked" — skip the pass rather than flag live directives.
+	if !failed {
+		for _, rec := range ignores {
+			if rec.used {
+				continue
+			}
+			findings = append(findings, Finding{
+				Analyzer: "unused-ignore",
+				Pos:      fset.Position(rec.pos),
+				Message:  "erlint:ignore suppresses nothing: no finding fires on this line; delete the stale directive",
 			})
 		}
 	}

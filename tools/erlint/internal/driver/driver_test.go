@@ -38,13 +38,48 @@ func TestIgnoreDirective(t *testing.T) {
 	}
 	// One directive finding for the bare ignore; two errwrap findings: the
 	// bare-ignored Errorf (a reasonless ignore suppresses nothing) and the
-	// un-ignored comparison in reported.
-	if byAnalyzer["directive"] != 1 || byAnalyzer["errwrap"] != 2 || len(findings) != 3 {
-		t.Errorf("findings = %v, want 1 directive + 2 errwrap", findings)
+	// un-ignored comparison in reported. One unused-ignore finding: the
+	// reasoned directive in staleIgnore sits on a line where nothing fires.
+	if byAnalyzer["directive"] != 1 || byAnalyzer["errwrap"] != 2 ||
+		byAnalyzer["unused-ignore"] != 1 || len(findings) != 4 {
+		t.Errorf("findings = %v, want 1 directive + 2 errwrap + 1 unused-ignore", findings)
 	}
 	for _, f := range findings {
 		if f.Analyzer == "directive" && !strings.Contains(f.Message, "requires a reason") {
 			t.Errorf("directive finding message = %q, want a requires-a-reason explanation", f.Message)
 		}
+	}
+}
+
+// TestUnusedIgnore pins the unused-ignore pass in isolation: the stale
+// directive is reported at its own position with an actionable message,
+// while every consumed directive stays silent — including the bare one,
+// which already reports through the directive pseudo analyzer and must
+// not be double-flagged as unused.
+func TestUnusedIgnore(t *testing.T) {
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := load.New(load.Root{Prefix: "", Dir: src})
+	units, err := loader.Load("ignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unused []driver.Finding
+	for _, f := range driver.Analyze(units[0], checkers.All()) {
+		if f.Analyzer == "unused-ignore" {
+			unused = append(unused, f)
+		}
+	}
+	if len(unused) != 1 {
+		t.Fatalf("unused-ignore findings = %v, want exactly the staleIgnore directive", unused)
+	}
+	f := unused[0]
+	if !strings.HasSuffix(f.Pos.Filename, "ignore.go") || f.Pos.Line == 0 {
+		t.Errorf("unused-ignore reported at %v, want the directive's own position", f.Pos)
+	}
+	if !strings.Contains(f.Message, "suppresses nothing") || !strings.Contains(f.Message, "delete") {
+		t.Errorf("unused-ignore message = %q, want a suppresses-nothing explanation with the fix", f.Message)
 	}
 }

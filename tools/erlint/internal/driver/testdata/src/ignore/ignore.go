@@ -27,3 +27,8 @@ func bareIgnore(err error) {
 func reported(err error) bool {
 	return err == ErrGone
 }
+
+func staleIgnore(err error) error {
+	// erlint:ignore stale on purpose: the wrap below satisfies errwrap, so nothing fires here
+	return fmt.Errorf("load: %w", err)
+}
